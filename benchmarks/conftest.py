@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md §4).  Heavy artifacts (census datasets, workloads) are built
+once per session; each benchmark prints its paper-shaped series and also
+writes it to ``results/<name>.txt`` so EXPERIMENTS.md can quote it.
+
+Scale: laptop-sized by default; set ``REPRO_FULL=1`` for the paper's
+exact dataset sizes (needs tens of GB and hours).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.data.census import BRAZIL, US
+from repro.experiments.config import AccuracyConfig, TimingConfig, full_scale_requested
+from repro.experiments.figures import prepare_census_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_accuracy_config() -> AccuracyConfig:
+    if full_scale_requested():
+        return AccuracyConfig(scale=1.0, num_rows=10_000_000, num_queries=40_000)
+    return AccuracyConfig(scale=0.2, num_rows=150_000, num_queries=20_000)
+
+
+def bench_timing_config() -> TimingConfig:
+    return TimingConfig.for_environment()
+
+
+@pytest.fixture(scope="session")
+def accuracy_config() -> AccuracyConfig:
+    return bench_accuracy_config()
+
+
+@pytest.fixture(scope="session")
+def timing_config() -> TimingConfig:
+    return bench_timing_config()
+
+
+@pytest.fixture(scope="session")
+def brazil_bundle(accuracy_config):
+    """(table, matrix, workload) for the Brazil census stand-in."""
+    return prepare_census_experiment(BRAZIL, accuracy_config)
+
+
+@pytest.fixture(scope="session")
+def us_bundle(accuracy_config):
+    """(table, matrix, workload) for the US census stand-in."""
+    return prepare_census_experiment(US, accuracy_config)
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write a named result table under results/ and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

@@ -1,0 +1,64 @@
+"""Cross-panel trend of Figures 6-9: error scales as 1/eps^2.
+
+Each figure has four panels (ε = 0.5, 0.75, 1, 1.25); moving across the
+panels, both mechanisms' square error shrinks proportionally to 1/ε²
+(Laplace variance is 2λ² with λ ∝ 1/ε).  This bench measures the
+overall square error of both mechanisms across the ε grid and fits the
+power law.
+"""
+
+import numpy as np
+
+from repro.core.basic import BasicMechanism
+from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.experiments.runner import run_accuracy
+
+
+def fitted_exponent(epsilons, errors) -> float:
+    """Least-squares slope of log(error) against log(eps)."""
+    return float(np.polyfit(np.log(epsilons), np.log(errors), 1)[0])
+
+
+def test_epsilon_trend(benchmark, brazil_bundle, record_result):
+    table, matrix, workload = brazil_bundle
+    epsilons = (0.25, 0.5, 1.0, 2.0, 4.0)  # wider grid for a stable fit
+
+    def run():
+        return run_accuracy(
+            "brazil",
+            matrix,
+            workload,
+            [BasicMechanism(), PriveletPlusMechanism(sa_names=("Age", "Gender"))],
+            epsilons,
+            metric="square",
+            measure="coverage",
+            num_tuples=table.num_rows,
+            seed=777,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Cross-panel trend: overall square error vs epsilon (Brazil)",
+        "=" * 60,
+        f"{'epsilon':>10}{'Basic':>14}{'Privelet+':>14}",
+    ]
+    basic_errors, plus_errors = [], []
+    for epsilon in epsilons:
+        basic = result.series_for("Basic", epsilon).overall_error
+        plus = result.series_for("Privelet+(SA={Age, Gender})", epsilon).overall_error
+        basic_errors.append(basic)
+        plus_errors.append(plus)
+        lines.append(f"{epsilon:>10}{basic:>14.4g}{plus:>14.4g}")
+    basic_slope = fitted_exponent(epsilons, basic_errors)
+    plus_slope = fitted_exponent(epsilons, plus_errors)
+    lines.append(
+        f"fitted power law: Basic eps^{basic_slope:.2f}, "
+        f"Privelet+ eps^{plus_slope:.2f}  (theory: eps^-2)"
+    )
+    record_result("epsilon_trend", "\n".join(lines))
+
+    # One noise draw per epsilon -> the fitted slope carries sampling
+    # error around the theoretical -2.
+    assert -2.7 < basic_slope < -1.4
+    assert -2.7 < plus_slope < -1.4

@@ -1,0 +1,35 @@
+"""Figure 6: average square error vs query coverage (Brazil census).
+
+Paper shape: Basic's average square error grows linearly with coverage;
+Privelet+ (SA = {Age, Gender}) stays flat, and wins the top coverage
+buckets by a large factor (two orders of magnitude at the paper's
+m > 1e8; proportionally less at benchmark scale).
+"""
+
+from repro.data.census import BRAZIL
+from repro.experiments.figures import run_square_error_vs_coverage
+from repro.experiments.reporting import format_accuracy_run
+
+
+def test_fig6_square_error_vs_coverage_brazil(
+    benchmark, brazil_bundle, accuracy_config, record_result
+):
+    run = benchmark.pedantic(
+        run_square_error_vs_coverage,
+        args=(BRAZIL, accuracy_config),
+        kwargs={"prepared": brazil_bundle},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_accuracy_run(
+        run, chart=True, title="Figure 6: avg square error vs coverage (Brazil)"
+    )
+    record_result("fig6_sqerr_coverage_brazil", text)
+
+    # Shape assertions (who wins, and the Basic linear-growth signature).
+    privelet_name = "Privelet+(SA={Age, Gender})"
+    for epsilon in accuracy_config.epsilons:
+        basic = run.series_for("Basic", epsilon)
+        plus = run.series_for(privelet_name, epsilon)
+        assert basic.bucket_errors[-1] > basic.bucket_errors[0] * 20
+        assert plus.bucket_errors[-1] < basic.bucket_errors[-1] / 5

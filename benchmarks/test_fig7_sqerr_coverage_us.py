@@ -1,0 +1,31 @@
+"""Figure 7: average square error vs query coverage (US census).
+
+Same construction as Figure 6 on the US schema (Table III, US row).
+"""
+
+from repro.data.census import US
+from repro.experiments.figures import run_square_error_vs_coverage
+from repro.experiments.reporting import format_accuracy_run
+
+
+def test_fig7_square_error_vs_coverage_us(
+    benchmark, us_bundle, accuracy_config, record_result
+):
+    run = benchmark.pedantic(
+        run_square_error_vs_coverage,
+        args=(US, accuracy_config),
+        kwargs={"prepared": us_bundle},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_accuracy_run(
+        run, chart=True, title="Figure 7: avg square error vs coverage (US)"
+    )
+    record_result("fig7_sqerr_coverage_us", text)
+
+    privelet_name = "Privelet+(SA={Age, Gender})"
+    for epsilon in accuracy_config.epsilons:
+        basic = run.series_for("Basic", epsilon)
+        plus = run.series_for(privelet_name, epsilon)
+        assert basic.bucket_errors[-1] > basic.bucket_errors[0] * 20
+        assert plus.bucket_errors[-1] < basic.bucket_errors[-1] / 5

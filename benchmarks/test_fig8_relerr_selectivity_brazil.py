@@ -1,0 +1,40 @@
+"""Figure 8: average relative error vs query selectivity (Brazil census).
+
+Paper shape: with the 0.1%-of-n sanity bound, Privelet+'s relative error
+is below Basic's except at the lowest selectivities, and stays moderate
+throughout; Basic exceeds 70% in several buckets at paper scale.
+"""
+
+import numpy as np
+
+from repro.data.census import BRAZIL
+from repro.experiments.figures import run_relative_error_vs_selectivity
+from repro.experiments.reporting import format_accuracy_run
+
+
+def test_fig8_relative_error_vs_selectivity_brazil(
+    benchmark, brazil_bundle, accuracy_config, record_result
+):
+    run = benchmark.pedantic(
+        run_relative_error_vs_selectivity,
+        args=(BRAZIL, accuracy_config),
+        kwargs={"prepared": brazil_bundle},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_accuracy_run(
+        run, chart=True, title="Figure 8: avg relative error vs selectivity (Brazil)"
+    )
+    record_result("fig8_relerr_selectivity_brazil", text)
+
+    # Shape: in the top selectivity bucket Privelet+ beats Basic at every
+    # epsilon (the crossover sits at low selectivity).
+    privelet_name = "Privelet+(SA={Age, Gender})"
+    wins = 0
+    for epsilon in accuracy_config.epsilons:
+        basic = run.series_for("Basic", epsilon)
+        plus = run.series_for(privelet_name, epsilon)
+        if plus.bucket_errors[-1] < basic.bucket_errors[-1]:
+            wins += 1
+        assert np.all(np.isfinite(plus.bucket_errors))
+    assert wins >= len(accuracy_config.epsilons) - 1

@@ -1,0 +1,33 @@
+"""Figure 9: average relative error vs query selectivity (US census)."""
+
+import numpy as np
+
+from repro.data.census import US
+from repro.experiments.figures import run_relative_error_vs_selectivity
+from repro.experiments.reporting import format_accuracy_run
+
+
+def test_fig9_relative_error_vs_selectivity_us(
+    benchmark, us_bundle, accuracy_config, record_result
+):
+    run = benchmark.pedantic(
+        run_relative_error_vs_selectivity,
+        args=(US, accuracy_config),
+        kwargs={"prepared": us_bundle},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_accuracy_run(
+        run, chart=True, title="Figure 9: avg relative error vs selectivity (US)"
+    )
+    record_result("fig9_relerr_selectivity_us", text)
+
+    privelet_name = "Privelet+(SA={Age, Gender})"
+    wins = 0
+    for epsilon in accuracy_config.epsilons:
+        basic = run.series_for("Basic", epsilon)
+        plus = run.series_for(privelet_name, epsilon)
+        if plus.bucket_errors[-1] < basic.bucket_errors[-1]:
+            wins += 1
+        assert np.all(np.isfinite(plus.bucket_errors))
+    assert wins >= len(accuracy_config.epsilons) - 1

@@ -1,0 +1,26 @@
+"""Micro-benchmark of workload evaluation via the prefix-sum oracle.
+
+The §VII-A experiments answer 40 000 queries per noisy matrix; this
+bench demonstrates that bulk evaluation is cheap relative to publishing.
+"""
+
+import numpy as np
+
+from repro.data.census import BRAZIL, census_schema
+from repro.data.frequency import FrequencyMatrix
+from repro.queries.oracle import RangeSumOracle
+from repro.queries.workload import generate_workload
+
+
+def test_oracle_build_and_answer_40k(benchmark):
+    schema = census_schema(BRAZIL.scaled(0.1))
+    rng = np.random.default_rng(88)
+    matrix = FrequencyMatrix(schema, rng.poisson(1.0, size=schema.shape).astype(float))
+    queries = generate_workload(schema, 40_000, max_predicates=4, seed=89)
+
+    def build_and_answer():
+        oracle = RangeSumOracle(matrix)
+        return oracle.answer_all(queries)
+
+    answers = benchmark.pedantic(build_and_answer, rounds=3, iterations=1)
+    assert answers.shape == (40_000,)

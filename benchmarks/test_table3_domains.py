@@ -1,0 +1,36 @@
+"""Table III: attribute domain sizes of the census datasets.
+
+Regenerates the schema inventory the paper reports (domain sizes, and
+hierarchy heights in parentheses for nominal attributes), plus the
+benchmark-scale variants actually used by the figure benches.
+"""
+
+from repro.data.census import BRAZIL, US, census_schema
+
+from .conftest import bench_accuracy_config
+
+
+def format_table3(specs) -> str:
+    lines = ["Table III: sizes of attribute domains", "=" * 45]
+    header = f"{'':>16}" + "".join(f"{name:>14}" for name in ("Age", "Gender", "Occupation", "Income"))
+    lines.append(header)
+    for spec in specs:
+        schema = census_schema(spec)
+        cells = []
+        for attr in schema:
+            if attr.is_nominal:
+                cells.append(f"{attr.size} ({attr.height})")
+            else:
+                cells.append(str(attr.size))
+        lines.append(f"{spec.name:>16}" + "".join(f"{c:>14}" for c in cells))
+    return "\n".join(lines)
+
+
+def test_table3_domains(benchmark, record_result):
+    config = bench_accuracy_config()
+    specs = [BRAZIL, US, BRAZIL.scaled(config.scale), US.scaled(config.scale)]
+    text = benchmark(format_table3, specs)
+    record_result("table3_domains", text)
+    # The paper's exact numbers:
+    assert "101" in text and "512 (3)" in text and "1001" in text
+    assert "96" in text and "511 (3)" in text and "1020" in text

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the transform kernels (not tied to one figure).
+
+These quantify the O(m) claims of §IV-B/§V-C/§VI-C at the kernel level
+and catch performance regressions in the numpy implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.census import BRAZIL, census_schema
+from repro.data.hierarchy import two_level_hierarchy
+from repro.transforms.haar import haar_forward, haar_inverse
+from repro.transforms.multidim import HNTransform
+from repro.transforms.nominal import NominalTransform
+
+RNG = np.random.default_rng(77)
+
+
+class TestHaarKernel:
+    @pytest.mark.parametrize("length", [2**12, 2**16, 2**20])
+    def test_forward(self, benchmark, length):
+        values = RNG.normal(size=length)
+        benchmark(haar_forward, values)
+
+    def test_inverse(self, benchmark):
+        coefficients = haar_forward(RNG.normal(size=2**16))
+        benchmark(haar_inverse, coefficients)
+
+
+class TestNominalKernel:
+    def test_forward(self, benchmark):
+        hierarchy = two_level_hierarchy([64] * 64)  # 4096 leaves
+        transform = NominalTransform(hierarchy)
+        values = RNG.normal(size=4096)
+        benchmark(transform.forward, values)
+
+    def test_inverse_with_refinement(self, benchmark):
+        hierarchy = two_level_hierarchy([64] * 64)
+        transform = NominalTransform(hierarchy)
+        coefficients = transform.forward(RNG.normal(size=4096))
+        benchmark(lambda: transform.inverse(coefficients, refine=True))
+
+
+class TestHNKernel:
+    def test_forward_census_scale(self, benchmark):
+        schema = census_schema(BRAZIL.scaled(0.1))
+        hn = HNTransform(schema, sa_names=("Age", "Gender"))
+        values = RNG.normal(size=schema.shape)
+        benchmark.pedantic(hn.forward, args=(values,), rounds=3, iterations=1)
+
+    def test_round_trip_census_scale(self, benchmark):
+        schema = census_schema(BRAZIL.scaled(0.1))
+        hn = HNTransform(schema, sa_names=("Age", "Gender"))
+        values = RNG.normal(size=schema.shape)
+
+        def round_trip():
+            return hn.inverse(hn.forward(values))
+
+        benchmark.pedantic(round_trip, rounds=3, iterations=1)

@@ -1,0 +1,87 @@
+"""OLAP-style navigation over a DP-published census cube.
+
+The paper motivates Privelet with OLAP range-count queries: roll-up and
+drill-down along attribute hierarchies (§II-A).  This example publishes
+a census table once and then answers a realistic analyst session —
+drilling from "everyone" down through occupation groups and age bands —
+showing exact vs private answers and the per-query relative error.
+
+Run:  python examples/census_olap.py
+"""
+
+from repro import (
+    BRAZIL,
+    PriveletPlusMechanism,
+    RangeCountQuery,
+    RangeSumOracle,
+    generate_census_table,
+    hierarchy_predicate,
+    interval_predicate,
+    select_sa,
+)
+
+
+def show(label: str, query: RangeCountQuery, exact_oracle, noisy_oracle) -> None:
+    exact = exact_oracle.answer(query)
+    noisy = noisy_oracle.answer(query)
+    error = abs(noisy - exact) / max(exact, 1.0)
+    print(f"  {label:<52} exact={exact:>10.0f}  private={noisy:>12.1f}  rel.err={error:6.2%}")
+
+
+def main() -> None:
+    spec = BRAZIL.scaled(0.1)
+    table = generate_census_table(spec, num_rows=200_000, seed=10)
+    schema = table.schema
+    occupation = schema["Occupation"]
+    hierarchy = occupation.hierarchy
+
+    result = PriveletPlusMechanism(sa_names=select_sa(schema)).publish(
+        table, epsilon=1.0, seed=11
+    )
+    exact_oracle = RangeSumOracle(table.frequency_matrix())
+    noisy_oracle = RangeSumOracle(result.matrix)
+
+    print(f"published {table.num_rows} rows at epsilon=1.0; analyst session:\n")
+
+    # Roll-up: total population.
+    show("ALL", RangeCountQuery(schema), exact_oracle, noisy_oracle)
+
+    # Drill-down: one occupation *group* (an internal hierarchy node).
+    group_id = hierarchy.children(hierarchy.root_id)[0]
+    group = RangeCountQuery(schema, (hierarchy_predicate(occupation, group_id),))
+    show(f"Occupation group {hierarchy.node_label(group_id)!r}", group, exact_oracle, noisy_oracle)
+
+    # Drill-down further: one specific occupation (a leaf).
+    leaf_id = hierarchy.children(group_id)[0]
+    leaf = RangeCountQuery(schema, (hierarchy_predicate(occupation, leaf_id),))
+    show(f"Occupation leaf {hierarchy.node_label(leaf_id)!r}", leaf, exact_oracle, noisy_oracle)
+
+    # Cross-tab: the group restricted to working-age adults.
+    working_age = RangeCountQuery(
+        schema,
+        (
+            hierarchy_predicate(occupation, group_id),
+            interval_predicate(schema["Age"], 25, 54),
+        ),
+    )
+    show("... group x Age in [25, 54]", working_age, exact_oracle, noisy_oracle)
+
+    # ... with an income band on top.
+    with_income = RangeCountQuery(
+        schema,
+        (
+            hierarchy_predicate(occupation, group_id),
+            interval_predicate(schema["Age"], 25, 54),
+            interval_predicate(schema["Income"], 0, schema["Income"].size // 4),
+        ),
+    )
+    show("... x bottom-quartile Income", with_income, exact_oracle, noisy_oracle)
+
+    print(
+        "\nwide queries stay accurate; the narrower the drill-down, the\n"
+        "larger the relative error — exactly the paper's utility profile."
+    )
+
+
+if __name__ == "__main__":
+    main()

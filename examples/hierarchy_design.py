@@ -1,0 +1,95 @@
+"""How hierarchy design changes nominal-attribute accuracy (§V-D).
+
+For a nominal attribute the paper's nominal wavelet transform has a
+noise-variance bound of 32 h^2 / eps^2 — quadratic in the hierarchy
+height — while the strawman (Haar over an imposed leaf order) pays
+O(log^3 m).  This example compares, for a 512-value nominal domain:
+
+* a flat 2-level hierarchy (h = 2),
+* the paper's 3-level shape (h = 3, like Occupation),
+* a balanced binary hierarchy (h = 10),
+* the Haar strawman,
+
+showing both the closed-form bounds and measured errors at equal ε.
+
+Run:  python examples/hierarchy_design.py
+"""
+
+import numpy as np
+
+from repro import (
+    flat_hierarchy,
+    nominal_bound,
+    haar_bound,
+    nominal_vs_haar,
+    publish_nominal_vector,
+    publish_ordinal_vector,
+    balanced_hierarchy,
+    two_level_hierarchy,
+)
+
+DOMAIN = 512
+EPSILON = 1.0
+REPS = 200
+
+
+def measured_variance(counts, hierarchy, lo, hi):
+    exact = counts[lo:hi].sum()
+    errors = [
+        publish_nominal_vector(counts, hierarchy, EPSILON, seed=seed)[lo:hi].sum() - exact
+        for seed in range(REPS)
+    ]
+    return float(np.var(errors))
+
+
+def main() -> None:
+    rng = np.random.default_rng(20)
+    counts = rng.integers(0, 40, size=DOMAIN).astype(float)
+    lo, hi = 0, 32  # a 32-leaf range, aligned with every hierarchy below
+
+    candidates = [
+        ("flat (h=2)", flat_hierarchy(DOMAIN)),
+        ("3-level, 16x32 (h=3)", two_level_hierarchy([32] * 16)),
+        ("balanced binary (h=10)", balanced_hierarchy(DOMAIN, 2)),
+    ]
+
+    print(f"nominal domain of {DOMAIN} values, epsilon={EPSILON}, query = 32-leaf range\n")
+    print(f"{'hierarchy':<26}{'bound 32h^2/eps^2':>20}{'measured variance':>20}")
+    for label, hierarchy in candidates:
+        bound = nominal_bound(hierarchy.height, EPSILON)
+        measured = measured_variance(counts, hierarchy, lo, hi)
+        aligned = any(
+            hierarchy.leaf_interval(n) == (lo, hi) for n in range(hierarchy.num_nodes)
+        )
+        note = "" if aligned else "   (range is not a hierarchy node: bound N/A)"
+        print(f"{label:<26}{bound:>20.0f}{measured:>20.0f}{note}")
+    print(
+        "\nnote: the 32 h^2/eps^2 bound covers the paper's OLAP predicates —\n"
+        "a single leaf or one node's whole subtree.  The flat hierarchy has\n"
+        "no 32-leaf node, so its bound does not apply to this query (and is\n"
+        "visibly exceeded); the other hierarchies align and stay inside it."
+    )
+
+    # The Haar strawman on the imposed leaf order (§V-A).
+    exact = counts[lo:hi].sum()
+    errors = [
+        publish_ordinal_vector(counts, EPSILON, seed=seed)[lo:hi].sum() - exact
+        for seed in range(REPS)
+    ]
+    print(
+        f"{'Haar strawman':<26}{haar_bound(DOMAIN, EPSILON):>20.0f}"
+        f"{float(np.var(errors)):>20.0f}"
+    )
+
+    comparison = nominal_vs_haar(DOMAIN, 3, EPSILON)
+    print(
+        f"\npaper §V-D (m=512, h=3): Haar {comparison.haar_variance_bound:.0f} vs "
+        f"nominal {comparison.nominal_variance_bound:.0f} — "
+        f"{comparison.improvement_factor:.0f}x better.\n"
+        "Design takeaway: keep hierarchies shallow — the bound is 32 h^2/eps^2,\n"
+        "so every extra level costs quadratically."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Reporting DP answers with calibrated uncertainty.
+
+A release is only useful if consumers know how much to trust each
+number.  Because Privelet's noise law is public, the *exact* standard
+deviation of every range-count answer is computable from the release
+metadata alone — no extra privacy cost.  This example publishes a census
+table, then prints:
+
+* point answers with 95% confidence intervals for a few queries, and
+* a one-way marginal table annotated with per-cell noise std.
+
+Run:  python examples/uncertainty_reporting.py
+"""
+
+from repro import (
+    BRAZIL,
+    PriveletPlusMechanism,
+    QueryEngine,
+    RangeCountQuery,
+    generate_census_table,
+    interval_predicate,
+    select_sa,
+)
+
+
+def main() -> None:
+    table = generate_census_table(BRAZIL.scaled(0.1), num_rows=150_000, seed=40)
+    schema = table.schema
+    result = PriveletPlusMechanism(sa_names=select_sa(schema)).publish(
+        table, epsilon=1.0, seed=41
+    )
+    engine = QueryEngine(result)
+    exact_matrix = table.frequency_matrix()
+
+    print("answers with 95% confidence intervals (exact answer in brackets):\n")
+    bands = [(0, 17), (18, 39), (40, 64), (65, schema["Age"].size - 1)]
+    for lo, hi in bands:
+        query = RangeCountQuery(schema, (interval_predicate(schema["Age"], lo, hi),))
+        answer = engine.answer_with_interval(query, confidence=0.95)
+        exact = query.evaluate(exact_matrix)
+        print(
+            f"  Age in [{lo:>3}, {hi:>3}]: {answer.estimate:>10.0f} "
+            f"± {answer.upper - answer.estimate:>8.1f}   [{exact:.0f}]"
+        )
+
+    print("\nGender marginal with per-cell noise std:")
+    values, stds = engine.marginal_with_std(["Gender"])
+    for label, value, std in zip(schema["Gender"].labels(), values, stds):
+        print(f"  {label:<8} {value:>10.1f}  (noise std {std:.1f})")
+
+    print(
+        "\nall uncertainty numbers are data-free: they follow from the\n"
+        "mechanism configuration, so printing them costs no extra privacy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Closed-form analyses: variance bounds and the paper's worked examples."""
+
+from repro.analysis.exact import (
+    SaChoice,
+    axis_variance_profile,
+    expected_relative_errors,
+    optimize_sa,
+    query_noise_variance,
+    workload_average_variance,
+)
+from repro.analysis.theory import (
+    HybridCrossover,
+    NominalVsHaar,
+    nominal_vs_haar,
+    privelet_vs_basic_small_domain,
+)
+from repro.analysis.variance import (
+    basic_bound,
+    crossover_coverage,
+    haar_bound,
+    nominal_bound,
+    privelet_plus_bound,
+)
+
+__all__ = [
+    "axis_variance_profile",
+    "query_noise_variance",
+    "workload_average_variance",
+    "expected_relative_errors",
+    "optimize_sa",
+    "SaChoice",
+    "basic_bound",
+    "haar_bound",
+    "nominal_bound",
+    "privelet_plus_bound",
+    "crossover_coverage",
+    "NominalVsHaar",
+    "nominal_vs_haar",
+    "HybridCrossover",
+    "privelet_vs_basic_small_domain",
+]

@@ -1,0 +1,195 @@
+"""Exact per-query noise variance under Privelet+ (beyond the paper).
+
+The paper bounds the noise variance of a range-count answer (Lemma 3/5,
+Theorem 3, Corollary 1).  Because the whole pipeline from noisy
+coefficients to the answer is *linear* — the inverse transforms, the
+mean-subtraction refinement, and the box sum — the variance is also
+available **exactly**, in closed form, per query:
+
+    answer = sum_j  g[j] * C*[j]          (some coefficient weighting g)
+    Var    = 2 lambda^2 * sum_j g[j]^2 / W[j]^2
+
+and for the HN transform both ``g`` and ``W`` factor across axes, so
+
+    Var = 2 lambda^2 * prod_i ( sum_{j_i} g_i[j_i]^2 / W_i[j_i]^2 ).
+
+``g_i`` is the adjoint of axis ``i``'s reconstruction map applied to the
+query's range indicator on that axis.  We obtain the reconstruction
+matrix by applying ``inverse(refine=True)`` to the identity — small per
+axis — and take its transpose action.
+
+This module powers two things the paper lists as future work (§IX):
+
+* an *exact* expected-error profile for a known query distribution,
+* :func:`optimize_sa`, workload-aware selection of the Privelet+ ``SA``
+  set (minimizing average exact variance instead of the worst-case
+  Equation-7 bound).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.errors import QueryError
+from repro.transforms.base import OneDimensionalTransform
+from repro.transforms.multidim import HNTransform
+from repro.utils.validation import ensure_positive
+
+__all__ = [
+    "axis_variance_profile",
+    "query_noise_variance",
+    "workload_average_variance",
+    "expected_relative_errors",
+    "SaChoice",
+    "optimize_sa",
+]
+
+
+def _reconstruction_matrix(transform: OneDimensionalTransform) -> np.ndarray:
+    """Dense ``input_length x output_length`` matrix of coefficient -> data.
+
+    Column ``j`` is the reconstructed data vector when coefficient ``j``
+    is 1 and all others are 0, including the refinement step (which is
+    linear, so this captures the full pipeline).
+    """
+    identity = np.eye(transform.output_length)
+    return transform.inverse(identity, refine=True)
+
+
+def axis_variance_profile(transform: OneDimensionalTransform, lo: int, hi: int) -> float:
+    """``sum_j g[j]^2 / W[j]^2`` for one axis and one half-open range.
+
+    ``g = R^T r`` where ``R`` is the reconstruction matrix and ``r`` the
+    range indicator.  This is the axis's multiplicative contribution to
+    the exact query variance (times ``2 lambda^2`` overall).
+    """
+    if not (0 <= lo <= hi <= transform.input_length):
+        raise QueryError(
+            f"range [{lo}, {hi}) out of bounds for axis of length "
+            f"{transform.input_length}"
+        )
+    reconstruction = _reconstruction_matrix(transform)
+    g = reconstruction[lo:hi].sum(axis=0)  # R^T r
+    weights = transform.weight_vector()
+    return float(np.sum((g / weights) ** 2))
+
+
+def query_noise_variance(hn: HNTransform, query, noise_magnitude: float) -> float:
+    """Exact noise variance of ``query``'s answer under this transform.
+
+    ``query`` is a :class:`repro.queries.query.RangeCountQuery` (imported
+    lazily to keep this module free of the queries package — the engine
+    there imports us).  ``noise_magnitude`` is the Privelet parameter
+    lambda; each coefficient carries independent Laplace(lambda / W(c))
+    noise.
+    """
+    noise_magnitude = ensure_positive(noise_magnitude, "noise_magnitude")
+    if query.schema.shape != hn.input_shape:
+        raise QueryError("query schema does not match the transform's input shape")
+    product = 1.0
+    for axis, (lo, hi) in enumerate(query.box()):
+        product *= axis_variance_profile(hn.transforms[axis], lo, hi)
+    return 2.0 * noise_magnitude**2 * product
+
+
+def workload_average_variance(
+    schema: Schema, sa_names, queries, epsilon: float
+) -> float:
+    """Average *exact* noise variance over a workload for one SA choice."""
+    epsilon = ensure_positive(epsilon, "epsilon")
+    hn = HNTransform(schema, sa_names)
+    magnitude = 2.0 * hn.generalized_sensitivity() / epsilon
+
+    # Cache per-axis profiles: many queries share the same range per axis.
+    caches: list[dict] = [dict() for _ in hn.transforms]
+    total = 0.0
+    count = 0
+    for query in queries:
+        product = 1.0
+        for axis, (lo, hi) in enumerate(query.box()):
+            key = (lo, hi)
+            if key not in caches[axis]:
+                caches[axis][key] = axis_variance_profile(hn.transforms[axis], lo, hi)
+            product *= caches[axis][key]
+        total += 2.0 * magnitude**2 * product
+        count += 1
+    if count == 0:
+        raise QueryError("workload is empty")
+    return total / count
+
+
+def expected_relative_errors(
+    schema: Schema, sa_names, workload, epsilon: float, sanity: float
+) -> np.ndarray:
+    """Predicted expected relative error per query (§IX future work).
+
+    The paper's second future-work item asks what Privelet guarantees for
+    *expected relative error*.  Given a bound workload (with exact
+    answers), each query's answer carries zero-mean noise of known exact
+    variance ``sigma_q^2``; under the Gaussian approximation to the noise
+    sum, ``E|noise| = sigma_q * sqrt(2/pi)``, so::
+
+        E[relerr(q)] ~= sigma_q * sqrt(2/pi) / max(act_q, s)
+
+    with the §VII-A sanity bound ``s``.  This is a *prediction* from the
+    mechanism configuration plus the exact answers (a designer-side
+    analysis tool, not a private release — it consumes the true answers).
+
+    Parameters
+    ----------
+    workload:
+        A :class:`repro.queries.workload.Workload` (bound queries with
+        exact answers).
+    """
+    epsilon = ensure_positive(epsilon, "epsilon")
+    sanity = ensure_positive(sanity, "sanity")
+    hn = HNTransform(schema, sa_names)
+    magnitude = 2.0 * hn.generalized_sensitivity() / epsilon
+    caches: list[dict] = [dict() for _ in hn.transforms]
+    predictions = np.empty(len(workload.queries))
+    for index, query in enumerate(workload.queries):
+        product = 1.0
+        for axis, (lo, hi) in enumerate(query.box()):
+            key = (lo, hi)
+            if key not in caches[axis]:
+                caches[axis][key] = axis_variance_profile(hn.transforms[axis], lo, hi)
+            product *= caches[axis][key]
+        std = float(np.sqrt(2.0 * magnitude**2 * product))
+        denominator = max(float(workload.exact_answers[index]), sanity)
+        predictions[index] = std * np.sqrt(2.0 / np.pi) / denominator
+    return predictions
+
+
+@dataclass(frozen=True)
+class SaChoice:
+    """Result of workload-aware SA optimization."""
+
+    sa: tuple[str, ...]
+    average_variance: float
+    #: All evaluated candidates, sorted best-first: (sa, avg variance).
+    ranking: tuple[tuple[tuple[str, ...], float], ...]
+
+
+def optimize_sa(schema: Schema, queries, epsilon: float = 1.0) -> SaChoice:
+    """Choose the Privelet+ ``SA`` minimizing average exact variance.
+
+    Exhausts all ``2^d`` subsets (d is small for relational schemas; the
+    paper's is 4).  This implements the §IX future-work direction
+    "extend Privelet for the case where the distribution of range-count
+    queries is known in advance": with a workload sample in hand, pick
+    the hybrid split that is optimal *for that workload* rather than for
+    the worst case.
+    """
+    queries = list(queries)
+    candidates = []
+    for r in range(len(schema.names) + 1):
+        for sa in itertools.combinations(schema.names, r):
+            average = workload_average_variance(schema, sa, queries, epsilon)
+            candidates.append((sa, average))
+    candidates.sort(key=lambda item: item[1])
+    best_sa, best_average = candidates[0]
+    return SaChoice(sa=best_sa, average_variance=best_average, ranking=tuple(candidates))

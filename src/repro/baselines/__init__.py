@@ -1,0 +1,11 @@
+"""Additional baselines beyond the paper's Basic (extensions)."""
+
+from repro.baselines.barak import BarakMechanism, downward_closure, walsh_coefficients
+from repro.baselines.hay import HayHierarchicalMechanism
+
+__all__ = [
+    "HayHierarchicalMechanism",
+    "BarakMechanism",
+    "walsh_coefficients",
+    "downward_closure",
+]

@@ -1,0 +1,116 @@
+"""Hay et al.'s hierarchical-consistency mechanism (paper §VIII, ref [22]).
+
+The paper's related-work section singles out Hay, Rastogi, Miklau &
+Suciu, *Boosting the accuracy of differentially-private queries through
+consistency* (2009/2010), as the independent approach with "comparable
+utility guarantees" to Privelet, but "designed exclusively for
+one-dimensional datasets".  This module implements it as an extra
+baseline so that comparison can be *measured* (see
+``benchmarks/test_ablation_hay_vs_privelet.py``).
+
+Mechanism (arity ``k``, 1-D domain padded to a power of ``k``):
+
+1. build a complete ``k``-ary tree over the domain; every node holds the
+   exact count of its leaf interval;
+2. add Laplace noise with magnitude ``2 L / epsilon`` to every node count
+   (``L`` = number of tree levels; replacing one tuple changes the counts
+   along two root-to-leaf paths by one each, so the sensitivity is
+   ``2 L`` under the paper's neighbouring-table convention);
+3. post-process for consistency with Hay et al.'s two closed-form passes
+   (the minimum-L2 solution constrained to "parent = sum of children"):
+
+   * bottom-up:  ``z_v = ((k^l - k^(l-1)) y_v + (k^(l-1) - 1) sum_children
+     z) / (k^l - 1)`` for a node ``v`` at height ``l`` (leaves: ``z = y``);
+   * top-down:   ``hbar_v = z_v + (hbar_parent - sum_siblings z) / k``.
+
+The consistent leaf estimates form the noisy frequency vector; any range
+query is then answered by summing leaves (tests use interval sums).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.laplace import laplace_noise, magnitude_for_epsilon
+from repro.errors import PrivacyError
+from repro.utils.rng import as_generator
+from repro.utils.validation import ensure_positive, ensure_positive_int
+
+__all__ = ["HayHierarchicalMechanism"]
+
+
+def _padded_length(length: int, arity: int) -> int:
+    padded = 1
+    while padded < length:
+        padded *= arity
+    return padded
+
+
+class HayHierarchicalMechanism:
+    """Hay et al.'s boosted hierarchical counts for one ordinal dimension."""
+
+    name = "Hay"
+
+    def __init__(self, arity: int = 2):
+        self.arity = ensure_positive_int(arity, "arity")
+        if self.arity < 2:
+            raise PrivacyError("arity must be >= 2")
+
+    # ------------------------------------------------------------------
+    def publish_vector(self, counts, epsilon: float, *, seed=None) -> np.ndarray:
+        """Release a noisy, consistent frequency vector at ε-DP."""
+        epsilon = ensure_positive(epsilon, "epsilon")
+        counts = np.asarray(counts, dtype=np.float64)
+        if counts.ndim != 1:
+            raise PrivacyError("publish_vector expects a 1-D frequency vector")
+        rng = as_generator(seed)
+
+        k = self.arity
+        padded = _padded_length(len(counts), k)
+        leaves = np.zeros(padded, dtype=np.float64)
+        leaves[: len(counts)] = counts
+
+        # Exact per-level counts, leaves first.  levels[i] has padded/k^i
+        # entries; the last level is the root.
+        levels = [leaves]
+        while len(levels[-1]) > 1:
+            levels.append(levels[-1].reshape(-1, k).sum(axis=1))
+        num_levels = len(levels)
+
+        magnitude = magnitude_for_epsilon(epsilon, 2.0 * num_levels)
+        noisy = [level + laplace_noise(magnitude, level.shape, seed=rng) for level in levels]
+
+        # Bottom-up pass: z arrays per level.  A node at list index i has
+        # height l = i + 1 (leaves l = 1).
+        z = [noisy[0]]
+        for i in range(1, num_levels):
+            l = i + 1
+            k_l = float(k**l)
+            k_lm1 = float(k ** (l - 1))
+            child_sum = z[i - 1].reshape(-1, k).sum(axis=1)
+            z.append(((k_l - k_lm1) * noisy[i] + (k_lm1 - 1.0) * child_sum) / (k_l - 1.0))
+
+        # Top-down pass: hbar arrays per level, from the root down.
+        hbar = [None] * num_levels
+        hbar[num_levels - 1] = z[num_levels - 1]
+        for i in range(num_levels - 2, -1, -1):
+            sibling_sums = z[i].reshape(-1, k).sum(axis=1)
+            adjust = (hbar[i + 1] - sibling_sums) / k
+            hbar[i] = z[i] + np.repeat(adjust, k)
+
+        return hbar[0][: len(counts)]
+
+    # ------------------------------------------------------------------
+    def noise_magnitude(self, domain_size: int, epsilon: float) -> float:
+        """The per-node Laplace magnitude used at this domain size."""
+        epsilon = ensure_positive(epsilon, "epsilon")
+        padded = _padded_length(ensure_positive_int(domain_size, "domain_size"), self.arity)
+        num_levels = 1
+        length = padded
+        while length > 1:
+            length //= self.arity
+            num_levels += 1
+        return magnitude_for_epsilon(epsilon, 2.0 * num_levels)
+
+    def __repr__(self) -> str:
+        return f"HayHierarchicalMechanism(arity={self.arity})"

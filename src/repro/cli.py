@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``account``
+    Print the privacy/utility accounting (P/H factors, SA rule, λ and
+    variance bounds across ε) for a census schema.
+``figure``
+    Regenerate one of the paper's figures at laptop scale and print the
+    series (``fig6``/``fig7``/``fig8``/``fig9``/``fig10``/``fig11``).
+``publish``
+    Generate a synthetic census table, publish it with a chosen
+    mechanism, and write the result archive (``.npz``) for later
+    querying with :func:`repro.io.load_result`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.accountant import PrivacyAccount
+from repro.core.basic import BasicMechanism
+from repro.core.privelet import PriveletMechanism
+from repro.core.privelet_plus import PriveletPlusMechanism, select_sa
+from repro.data.census import BRAZIL, US, census_schema, generate_census_table
+from repro.experiments.config import AccuracyConfig, TimingConfig
+from repro.experiments.figures import (
+    run_relative_error_vs_selectivity,
+    run_square_error_vs_coverage,
+    run_time_vs_m,
+    run_time_vs_n,
+)
+from repro.experiments.reporting import format_accuracy_run, format_timing_run
+from repro.io import save_result
+
+__all__ = ["main", "build_parser"]
+
+_SPECS = {"brazil": BRAZIL, "us": US}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privelet (ICDE 2010) reproduction command-line interface",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    account = commands.add_parser("account", help="print privacy/utility accounting")
+    account.add_argument("--dataset", choices=sorted(_SPECS), default="brazil")
+    account.add_argument("--scale", type=float, default=1.0)
+    account.add_argument("--epsilon", type=float, default=1.0)
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument(
+        "name", choices=["fig6", "fig7", "fig8", "fig9", "fig10", "fig11"]
+    )
+    figure.add_argument("--scale", type=float, default=0.1)
+    figure.add_argument("--rows", type=int, default=50_000)
+    figure.add_argument("--queries", type=int, default=5_000)
+    figure.add_argument("--seed", type=int, default=20100301)
+
+    publish = commands.add_parser("publish", help="publish a synthetic census table")
+    publish.add_argument("output", help="output .npz path")
+    publish.add_argument("--dataset", choices=sorted(_SPECS), default="brazil")
+    publish.add_argument("--scale", type=float, default=0.1)
+    publish.add_argument("--rows", type=int, default=100_000)
+    publish.add_argument("--epsilon", type=float, default=1.0)
+    publish.add_argument(
+        "--mechanism", choices=["basic", "privelet", "privelet+"], default="privelet+"
+    )
+    publish.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_account(args) -> int:
+    schema = census_schema(_SPECS[args.dataset].scaled(args.scale))
+    print(f"schema: {schema!r}  (m = {schema.num_cells:,})")
+    print(f"{'attribute':<12}{'|A|':>8}{'P(A)':>8}{'H(A)':>8}{'in SA?':>8}")
+    for attr in schema:
+        print(
+            f"{attr.name:<12}{attr.size:>8}{attr.sensitivity_factor():>8.1f}"
+            f"{attr.variance_factor():>8.1f}"
+            f"{'yes' if attr.favours_direct_release() else 'no':>8}"
+        )
+    sa = select_sa(schema)
+    for label, sa_set in (
+        ("Basic", tuple(schema.names)),
+        ("Privelet", ()),
+        (f"Privelet+ SA={set(sa) or '{}'}", sa),
+    ):
+        account = PrivacyAccount(schema, sa_set)
+        print(
+            f"{label:<28} lambda={account.lambda_for_epsilon(args.epsilon):>8.1f}  "
+            f"variance bound={account.variance_bound(args.epsilon):>12.4g}"
+        )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    if args.name in {"fig10", "fig11"}:
+        config = TimingConfig()
+        run = run_time_vs_n(config) if args.name == "fig10" else run_time_vs_m(config)
+        print(format_timing_run(run))
+        return 0
+    config = AccuracyConfig(
+        scale=args.scale,
+        num_rows=args.rows,
+        num_queries=args.queries,
+        seed=args.seed,
+    )
+    spec = BRAZIL if args.name in {"fig6", "fig8"} else US
+    driver = (
+        run_square_error_vs_coverage
+        if args.name in {"fig6", "fig7"}
+        else run_relative_error_vs_selectivity
+    )
+    print(format_accuracy_run(driver(spec, config)))
+    return 0
+
+
+def _cmd_publish(args) -> int:
+    spec = _SPECS[args.dataset].scaled(args.scale)
+    table = generate_census_table(spec, args.rows, seed=args.seed)
+    mechanism = {
+        "basic": BasicMechanism(),
+        "privelet": PriveletMechanism(),
+        "privelet+": PriveletPlusMechanism(sa_names="auto"),
+    }[args.mechanism]
+    result = mechanism.publish(table, args.epsilon, seed=args.seed + 1)
+    save_result(args.output, result)
+    print(
+        f"published {table.num_rows} rows with {mechanism.name} at "
+        f"epsilon={args.epsilon}: lambda={result.noise_magnitude:.2f}, "
+        f"variance bound={result.variance_bound:.4g}"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "account": _cmd_account,
+        "figure": _cmd_figure,
+        "publish": _cmd_publish,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

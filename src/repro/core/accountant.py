@@ -1,0 +1,81 @@
+"""Privacy accounting for the mechanisms in this library.
+
+Collects the ε ↔ λ arithmetic of Theorem 1 (unweighted) and Lemma 1
+(weighted) in one queryable object, so experiments can report, for a
+mechanism and schema, exactly which guarantee a given noise level buys.
+
+The key identities:
+
+* Basic:         ε = 2 / λ                        (sensitivity 2)
+* Privelet(+):   ε = 2 ρ / λ,  ρ = Π_{A∉SA} P(A)  (Lemma 1 + Theorem 2)
+
+and the utility side (worst-case per-query noise variance):
+
+* Basic:         8 m / ε²
+* Privelet(+):   2 λ² · (Π_{A∈SA} |A|) · Π_{A∉SA} H(A)   (Corollary 1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.laplace import laplace_variance
+from repro.core.sensitivity import sensitivity_of_schema, variance_factor_of_schema
+from repro.data.schema import Schema
+from repro.errors import PrivacyError
+from repro.utils.validation import ensure_positive
+
+__all__ = ["PrivacyAccount"]
+
+
+@dataclass(frozen=True)
+class PrivacyAccount:
+    """ε/λ/variance bookkeeping for one (schema, SA) configuration."""
+
+    schema: Schema
+    sa_names: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        for name in self.sa_names:
+            self.schema.index_of(name)
+        if len(set(self.sa_names)) != len(self.sa_names):
+            raise PrivacyError(f"duplicate names in SA: {self.sa_names}")
+
+    # ------------------------------------------------------------------
+    @property
+    def generalized_sensitivity(self) -> float:
+        """ρ = Π_{A∉SA} P(A); equals 1 when SA covers every attribute."""
+        return sensitivity_of_schema(self.schema, self.sa_names)
+
+    def lambda_for_epsilon(self, epsilon: float) -> float:
+        """λ achieving ε-DP: ``λ = 2 ρ / ε`` (Lemma 1 with weights)."""
+        epsilon = ensure_positive(epsilon, "epsilon")
+        return 2.0 * self.generalized_sensitivity / epsilon
+
+    def epsilon_for_lambda(self, magnitude: float) -> float:
+        """ε bought by noise magnitude λ: ``ε = 2 ρ / λ``."""
+        magnitude = ensure_positive(magnitude, "magnitude")
+        return 2.0 * self.generalized_sensitivity / magnitude
+
+    def variance_bound(self, epsilon: float) -> float:
+        """Corollary 1's worst-case per-query noise variance at ε."""
+        magnitude = self.lambda_for_epsilon(epsilon)
+        return laplace_variance(magnitude) * variance_factor_of_schema(
+            self.schema, self.sa_names
+        )
+
+    def per_coefficient_variance(self, epsilon: float, weight: float) -> float:
+        """Noise variance of one coefficient with weight ``W(c)``."""
+        weight = ensure_positive(weight, "weight")
+        return laplace_variance(self.lambda_for_epsilon(epsilon) / weight)
+
+    def summary(self, epsilon: float) -> dict:
+        """A readable account of the guarantee at ``epsilon``."""
+        return {
+            "epsilon": float(epsilon),
+            "sa": tuple(self.sa_names),
+            "generalized_sensitivity": self.generalized_sensitivity,
+            "lambda": self.lambda_for_epsilon(epsilon),
+            "variance_bound": self.variance_bound(epsilon),
+            "num_cells": self.schema.num_cells,
+        }

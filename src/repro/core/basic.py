@@ -1,0 +1,50 @@
+"""Dwork et al.'s baseline mechanism ("Basic", paper §II-B).
+
+Add independent Laplace noise with magnitude ``lambda = 2 / epsilon`` to
+every entry of the frequency matrix.  Sensitivity is 2 because replacing
+one tuple moves exactly two entries by one each (Theorem 1).  Each entry
+carries noise variance ``8 / epsilon^2``; a range-count query covering
+``k`` cells therefore has noise variance ``8k / epsilon^2`` — up to
+``Theta(m)`` for large queries, which is the weakness Privelet attacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import PublishingMechanism, PublishResult
+from repro.core.laplace import laplace_noise, laplace_variance, magnitude_for_epsilon
+from repro.data.frequency import FrequencyMatrix
+
+__all__ = ["BasicMechanism"]
+
+#: Replacing one tuple changes two frequency-matrix entries by one each.
+FREQUENCY_MATRIX_SENSITIVITY = 2.0
+
+
+class BasicMechanism(PublishingMechanism):
+    """Laplace-perturb every frequency-matrix cell (Dwork et al.)."""
+
+    name = "Basic"
+
+    def publish_matrix(
+        self, matrix: FrequencyMatrix, epsilon: float, *, seed=None
+    ) -> PublishResult:
+        epsilon = self._check_epsilon(epsilon)
+        self._check_matrix(matrix)
+        magnitude = magnitude_for_epsilon(epsilon, FREQUENCY_MATRIX_SENSITIVITY)
+        noisy = matrix.values + laplace_noise(magnitude, matrix.shape, seed=seed)
+        return PublishResult(
+            matrix=FrequencyMatrix(matrix.schema, noisy),
+            epsilon=epsilon,
+            noise_magnitude=magnitude,
+            generalized_sensitivity=1.0,
+            variance_bound=self.variance_bound(matrix.schema, epsilon),
+            details={"mechanism": self.name},
+        )
+
+    def variance_bound(self, matrix_schema, epsilon: float) -> float:
+        """Worst case: a query covering all ``m`` cells -> ``8 m / eps^2``."""
+        epsilon = self._check_epsilon(epsilon)
+        per_cell = laplace_variance(FREQUENCY_MATRIX_SENSITIVITY / epsilon)
+        return float(per_cell * np.prod(matrix_schema.shape, dtype=np.float64))

@@ -1,0 +1,86 @@
+"""The Privelet publishing framework (paper §III) as a mechanism interface.
+
+Every mechanism in this library is a :class:`PublishingMechanism`: it
+takes a table (or its frequency matrix) plus a privacy budget and returns
+a :class:`PublishResult` — the noisy frequency matrix ``M*`` together
+with the accounting facts (ε, λ, sensitivity, variance bound) that the
+paper's lemmas attach to it.
+
+The framework's three steps (§III-A) appear as hooks so Basic, Privelet,
+and Privelet+ share one code path:
+
+1. ``transform`` the frequency matrix into coefficients;
+2. add Laplace noise of magnitude ``lambda / W(c)`` per coefficient;
+3. optionally ``refine`` (must depend only on noisy coefficients) and
+   invert the transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.frequency import FrequencyMatrix
+from repro.data.table import Table
+from repro.errors import PrivacyError
+
+__all__ = ["PublishResult", "PublishingMechanism"]
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """A published noisy frequency matrix plus its privacy/utility facts."""
+
+    #: The noisy frequency matrix ``M*`` (entries may be negative).
+    matrix: FrequencyMatrix
+    #: The ε of the ε-differential-privacy guarantee.
+    epsilon: float
+    #: The Laplace parameter λ the mechanism used (before weighting).
+    noise_magnitude: float
+    #: Generalized sensitivity ρ of the transform w.r.t. its weights
+    #: (1 for Basic, which has unweighted sensitivity 2 = 2ρ).
+    generalized_sensitivity: float
+    #: Worst-case noise variance of any range-count answer on ``matrix``
+    #: (the paper's Lemma 3 / Lemma 5 / Theorem 3 / Corollary 1 bound).
+    variance_bound: float
+    #: Free-form mechanism details (e.g. the SA set used by Privelet+).
+    details: dict = field(default_factory=dict)
+
+
+class PublishingMechanism:
+    """Interface shared by Basic, Privelet, and Privelet+."""
+
+    #: Human-readable mechanism name used in experiment reports.
+    name: str = "mechanism"
+
+    def publish(self, table: Table, epsilon: float, *, seed=None) -> PublishResult:
+        """Publish ``table`` with ε-differential privacy.
+
+        Equivalent to ``publish_matrix(table.frequency_matrix(), ...)``;
+        mechanisms may override for efficiency.
+        """
+        return self.publish_matrix(table.frequency_matrix(), epsilon, seed=seed)
+
+    def publish_matrix(
+        self, matrix: FrequencyMatrix, epsilon: float, *, seed=None
+    ) -> PublishResult:
+        """Publish a pre-computed frequency matrix with ε-DP."""
+        raise NotImplementedError
+
+    def variance_bound(self, matrix_schema, epsilon: float) -> float:
+        """Closed-form worst-case noise variance per range-count answer."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_epsilon(epsilon: float) -> float:
+        if not (isinstance(epsilon, (int, float)) and epsilon > 0):
+            raise PrivacyError(f"epsilon must be a positive number, got {epsilon!r}")
+        return float(epsilon)
+
+    @staticmethod
+    def _check_matrix(matrix: FrequencyMatrix) -> FrequencyMatrix:
+        """Reject non-finite inputs before any noise is spent on them."""
+        import numpy as np
+
+        if not np.isfinite(matrix.values).all():
+            raise PrivacyError("frequency matrix contains NaN or infinite entries")
+        return matrix

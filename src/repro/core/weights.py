@@ -1,0 +1,40 @@
+"""The paper's weight functions under their paper names.
+
+These are thin, documented aliases over the transform classes so code
+and tests can speak the paper's vocabulary:
+
+* ``w_haar(m)`` — §IV-B's ``W_Haar`` for a padded domain of size ``m``:
+  the base coefficient gets ``m``; a level-``i`` coefficient gets
+  ``2**(l-i+1)``.
+* ``w_nominal(hierarchy)`` — §V-B's ``W_Nom``: 1 for the base
+  coefficient, ``f/(2f-2)`` otherwise (``f`` = parent's fanout).
+* ``w_hn(schema, sa)`` — §VI-B's ``W_HN`` as per-axis vectors whose outer
+  product is the full weight function (Example 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.hierarchy import Hierarchy
+from repro.data.schema import Schema
+from repro.transforms.haar import haar_weight_vector
+from repro.transforms.multidim import HNTransform
+from repro.transforms.nominal import NominalTransform
+
+__all__ = ["w_haar", "w_nominal", "w_hn"]
+
+
+def w_haar(padded_length: int) -> np.ndarray:
+    """``W_Haar`` over a power-of-two domain, level-order layout."""
+    return haar_weight_vector(padded_length)
+
+
+def w_nominal(hierarchy: Hierarchy) -> np.ndarray:
+    """``W_Nom`` over a hierarchy, level-order (node-id) layout."""
+    return NominalTransform(hierarchy).weight_vector()
+
+
+def w_hn(schema: Schema, sa_names=()) -> list[np.ndarray]:
+    """Per-axis weight vectors of ``W_HN`` (outer product = full weights)."""
+    return HNTransform(schema, sa_names).weight_vectors()

@@ -1,0 +1,42 @@
+"""Data substrate: attributes, hierarchies, schemas, tables, generators."""
+
+from repro.data.attributes import Attribute, NominalAttribute, OrdinalAttribute
+from repro.data.census import BRAZIL, US, CensusSpec, census_schema, generate_census_table
+from repro.data.frequency import FrequencyMatrix
+from repro.data.hierarchy import (
+    Hierarchy,
+    Node,
+    balanced_hierarchy,
+    flat_hierarchy,
+    hierarchy_from_spec,
+    two_level_hierarchy,
+)
+from repro.data.loaders import load_table_csv, save_table_csv
+from repro.data.schema import Schema
+from repro.data.synthetic import domain_size_for_cells, generate_uniform_table, timing_schema
+from repro.data.table import Table
+
+__all__ = [
+    "Attribute",
+    "OrdinalAttribute",
+    "NominalAttribute",
+    "Hierarchy",
+    "Node",
+    "flat_hierarchy",
+    "two_level_hierarchy",
+    "balanced_hierarchy",
+    "hierarchy_from_spec",
+    "Schema",
+    "Table",
+    "FrequencyMatrix",
+    "load_table_csv",
+    "save_table_csv",
+    "CensusSpec",
+    "BRAZIL",
+    "US",
+    "census_schema",
+    "generate_census_table",
+    "timing_schema",
+    "generate_uniform_table",
+    "domain_size_for_cells",
+]

@@ -1,0 +1,178 @@
+"""Attribute model: ordinal and nominal attributes (paper §II-A).
+
+An attribute is a named, discrete domain.  Ordinal attributes carry a
+total order (domain values are the integers ``0 .. size-1``, standing for
+whatever coded values the original table used).  Nominal attributes carry
+a :class:`~repro.data.hierarchy.Hierarchy`; their domain values are leaf
+indexes in the hierarchy's DFS leaf order.
+
+The functions ``P(A)`` and ``H(A)`` of paper §VI-C — the per-attribute
+factors of the generalized sensitivity and of the noise-variance bound —
+are methods here because they depend only on the attribute:
+
+* ordinal:  ``P(A) = 1 + log2 |A|``,  ``H(A) = (2 + log2 |A|) / 2``
+  (computed on the power-of-two *padded* domain size, which is what the
+  Haar transform actually releases);
+* nominal:  ``P(A) = h``,  ``H(A) = 4``  where ``h`` is the hierarchy
+  height.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.data.hierarchy import Hierarchy, flat_hierarchy
+from repro.errors import SchemaError
+from repro.utils.validation import ensure_positive_int, next_power_of_two
+
+__all__ = ["Attribute", "OrdinalAttribute", "NominalAttribute"]
+
+
+class Attribute:
+    """Base class for schema attributes.  Use the concrete subclasses."""
+
+    def __init__(self, name: str, size: int):
+        if not name:
+            raise SchemaError("attribute name must be non-empty")
+        self._name = str(name)
+        self._size = ensure_positive_int(size, f"domain size of {name!r}")
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Domain size ``|A|``."""
+        return self._size
+
+    @property
+    def is_ordinal(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def is_nominal(self) -> bool:
+        return not self.is_ordinal
+
+    # -- paper §VI-C per-attribute factors --------------------------------
+    def sensitivity_factor(self) -> float:
+        """``P(A)``: this attribute's factor of the generalized sensitivity."""
+        raise NotImplementedError
+
+    def variance_factor(self) -> float:
+        """``H(A)``: this attribute's factor of the noise-variance bound."""
+        raise NotImplementedError
+
+    def favours_direct_release(self) -> bool:
+        """True if Basic beats Privelet on this attribute (§VI-D rule).
+
+        Privelet+ puts an attribute into ``SA`` (no wavelet transform on
+        that dimension) exactly when ``|A| <= P(A)^2 * H(A)``.
+        """
+        return self.size <= self.sensitivity_factor() ** 2 * self.variance_factor()
+
+    def __repr__(self) -> str:
+        kind = "ordinal" if self.is_ordinal else "nominal"
+        return f"{type(self).__name__}({self._name!r}, size={self._size}) [{kind}]"
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(self) is type(other)
+            and self._name == other._name
+            and self._size == other._size
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._name, self._size))
+
+
+class OrdinalAttribute(Attribute):
+    """A discrete, totally ordered attribute (e.g. Age, Income).
+
+    Values are coded as ``0 .. size-1``.  ``labels`` optionally names the
+    coded values for presentation.
+    """
+
+    def __init__(self, name: str, size: int, labels: Optional[list[str]] = None):
+        super().__init__(name, size)
+        if labels is not None:
+            labels = [str(label) for label in labels]
+            if len(labels) != size:
+                raise SchemaError(
+                    f"{name!r}: got {len(labels)} labels for domain size {size}"
+                )
+        self._labels = labels
+
+    @property
+    def is_ordinal(self) -> bool:
+        return True
+
+    @property
+    def padded_size(self) -> int:
+        """Domain size after power-of-two padding for the Haar transform."""
+        return next_power_of_two(self._size)
+
+    @property
+    def labels(self) -> Optional[list[str]]:
+        return list(self._labels) if self._labels is not None else None
+
+    def sensitivity_factor(self) -> float:
+        return 1.0 + math.log2(self.padded_size)
+
+    def variance_factor(self) -> float:
+        return (2.0 + math.log2(self.padded_size)) / 2.0
+
+
+class NominalAttribute(Attribute):
+    """A discrete, unordered attribute with an associated hierarchy.
+
+    The domain is the hierarchy's leaves, coded by DFS leaf index; the
+    coding order is exactly the "imposed total order" of §V-A.
+    """
+
+    def __init__(self, name: str, hierarchy: Hierarchy):
+        if not isinstance(hierarchy, Hierarchy):
+            raise SchemaError(f"{name!r}: hierarchy must be a Hierarchy instance")
+        super().__init__(name, hierarchy.num_leaves)
+        self._hierarchy = hierarchy
+
+    @classmethod
+    def with_flat_hierarchy(cls, name: str, size: int) -> "NominalAttribute":
+        """Convenience: nominal attribute with a 2-level (root-only) hierarchy."""
+        return cls(name, flat_hierarchy(size))
+
+    @property
+    def is_ordinal(self) -> bool:
+        return False
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        return self._hierarchy
+
+    @property
+    def height(self) -> int:
+        """Hierarchy height ``h`` (root and leaf levels both counted)."""
+        return self._hierarchy.height
+
+    def sensitivity_factor(self) -> float:
+        return float(self._hierarchy.height)
+
+    def variance_factor(self) -> float:
+        return 4.0
+
+    def labels(self) -> list[str]:
+        """Leaf labels in DFS (domain) order."""
+        return self._hierarchy.leaf_labels()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, NominalAttribute)
+            and self._name == other._name
+            and self._size == other._size
+            and self._hierarchy.num_nodes == other._hierarchy.num_nodes
+            and self._hierarchy.height == other._hierarchy.height
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._size, self._hierarchy.num_nodes, self._hierarchy.height))

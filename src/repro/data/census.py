@@ -1,0 +1,180 @@
+"""Synthetic stand-ins for the paper's IPUMS census datasets (§VII-A).
+
+The paper evaluates on IPUMS extracts for Brazil (10M tuples) and the US
+(8M tuples), with the schema of Table III:
+
+========== ======== ======== ============ ========
+attribute  Brazil   US       kind         height
+========== ======== ======== ============ ========
+Age        101      96       ordinal      —
+Gender     2        2        nominal      2
+Occupation 512      511      nominal      3
+Income     1001     1020     ordinal      —
+========== ======== ======== ============ ========
+
+**Substitution** (see DESIGN.md): IPUMS microdata is not redistributable
+and unavailable offline, so this module *generates* census-like tables
+with exactly those domain sizes and hierarchy heights, plus skewed and
+correlated marginals (ages piled in working years, Zipf-like occupations,
+log-normal income increasing with age).  The mechanisms' error behaviour
+depends on (epsilon, domain sizes, hierarchy heights, query coverage and
+selectivity) — not on the identity of the records — so this preserves the
+shape of Figures 6–9.
+
+A ``scale`` knob shrinks the large domains and the row count so the full
+benchmark harness fits laptop memory: the paper's frequency matrices have
+``m > 10^8`` cells.  ``scale=1.0`` reproduces Table III exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.hierarchy import flat_hierarchy, two_level_hierarchy
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.utils.rng import as_generator
+from repro.utils.validation import ensure_in_range, ensure_positive_int
+
+__all__ = ["CensusSpec", "BRAZIL", "US", "census_schema", "generate_census_table"]
+
+
+@dataclass(frozen=True)
+class CensusSpec:
+    """Domain sizes for one census dataset (one row of Table III)."""
+
+    name: str
+    age_size: int
+    gender_size: int
+    occupation_size: int
+    income_size: int
+    default_rows: int
+
+    def scaled(self, scale: float) -> "CensusSpec":
+        """Shrink the two large domains and the row count by ``scale``.
+
+        Age and Gender are kept at full size (they are small already, and
+        they are the paper's ``SA`` attributes, so their size drives the
+        Privelet+/Basic contrast).  Occupation group structure stays a
+        3-level hierarchy.
+        """
+        scale = ensure_in_range(scale, "scale", 1e-4, 1.0)
+        if scale == 1.0:
+            return self
+
+        def shrink(size: int, minimum: int) -> int:
+            return max(minimum, int(round(size * scale)))
+
+        return CensusSpec(
+            name=f"{self.name}-scaled",
+            age_size=self.age_size,
+            gender_size=self.gender_size,
+            occupation_size=shrink(self.occupation_size, 32),
+            income_size=shrink(self.income_size, 64),
+            default_rows=shrink(self.default_rows, 10_000),
+        )
+
+
+#: Table III, Brazil row: Age 101, Gender 2 (h=2), Occupation 512 (h=3),
+#: Income 1001; 10 million tuples.
+BRAZIL = CensusSpec("brazil", 101, 2, 512, 1001, 10_000_000)
+
+#: Table III, US row: Age 96, Gender 2 (h=2), Occupation 511 (h=3),
+#: Income 1020; 8 million tuples.
+US = CensusSpec("us", 96, 2, 511, 1020, 8_000_000)
+
+
+def _occupation_hierarchy(size: int):
+    """A 3-level occupation hierarchy (Table III reports height 3).
+
+    Leaves are split into roughly ``sqrt(size)`` groups, mirroring the
+    shape used for the synthetic datasets in §VII-B.  Group sizes are as
+    even as possible while keeping every fanout >= 2.
+    """
+    num_groups = max(2, int(round(math.sqrt(size))))
+    # Every group needs >= 2 leaves.
+    num_groups = min(num_groups, size // 2)
+    base = size // num_groups
+    remainder = size - base * num_groups
+    sizes = [base + 1] * remainder + [base] * (num_groups - remainder)
+    return two_level_hierarchy(sizes, root_label="AnyOccupation", group_prefix="occ-group")
+
+
+def census_schema(spec: CensusSpec) -> Schema:
+    """Build the 4-attribute census schema for ``spec``.
+
+    Attribute order matches Table III: Age, Gender, Occupation, Income.
+    """
+    return Schema(
+        [
+            OrdinalAttribute("Age", spec.age_size),
+            NominalAttribute("Gender", flat_hierarchy(["female", "male"][: spec.gender_size]
+                                                      if spec.gender_size == 2
+                                                      else spec.gender_size,
+                                                      root_label="AnyGender")),
+            NominalAttribute("Occupation", _occupation_hierarchy(spec.occupation_size)),
+            OrdinalAttribute("Income", spec.income_size),
+        ]
+    )
+
+
+def generate_census_table(
+    spec: CensusSpec,
+    num_rows: int | None = None,
+    *,
+    seed=None,
+) -> Table:
+    """Generate a census-like table with skewed, correlated attributes.
+
+    Marginals (all truncated/clipped to the coded domains):
+
+    * **Age** — mixture of a child/young component and a working-age
+      component, thinning out at high ages.
+    * **Gender** — near-uniform Bernoulli (p = 0.51).
+    * **Occupation** — Zipf-like over leaves (a few common occupations,
+      a long tail), with a weak dependence on gender.
+    * **Income** — log-normal, location increasing with age until ~55 and
+      scaled by the occupation's group index (correlation between the two
+      large-domain attributes, which makes low-selectivity queries
+      non-trivial, as in real census data).
+    """
+    num_rows = ensure_positive_int(
+        num_rows if num_rows is not None else spec.default_rows, "num_rows"
+    )
+    rng = as_generator(seed)
+    schema = census_schema(spec)
+
+    # Age: 35% young (triangular around 12), 65% working (normal around 38).
+    young = rng.triangular(0, 12, 30, size=num_rows)
+    working = rng.normal(38, 14, size=num_rows)
+    pick_young = rng.random(num_rows) < 0.35
+    age = np.where(pick_young, young, working)
+    age = np.clip(np.rint(age), 0, spec.age_size - 1).astype(np.int64)
+
+    gender = (rng.random(num_rows) < 0.51).astype(np.int64)
+    if spec.gender_size > 2:  # only if a caller builds a wider spec
+        gender = rng.integers(0, spec.gender_size, size=num_rows)
+
+    # Occupation: Zipf-like weights over leaves, tilted by gender.
+    ranks = np.arange(1, spec.occupation_size + 1, dtype=np.float64)
+    weights = 1.0 / ranks**1.1
+    weights /= weights.sum()
+    occupation = rng.choice(spec.occupation_size, size=num_rows, p=weights)
+    # Gender tilt: shift a random subset of one gender's draws to the
+    # mirrored rank, creating occupation/gender correlation.
+    tilt = (gender == 1) & (rng.random(num_rows) < 0.3)
+    occupation = np.where(tilt, spec.occupation_size - 1 - occupation, occupation)
+
+    # Income: log-normal with age- and occupation-dependent location.
+    age_effect = 0.03 * np.minimum(age, 55)
+    occ_effect = 0.15 * (occupation.astype(np.float64) / max(1, spec.occupation_size - 1))
+    location = 3.0 + age_effect + occ_effect
+    income = rng.lognormal(mean=location, sigma=0.6, size=num_rows)
+    income = np.clip(np.rint(income), 0, spec.income_size - 1).astype(np.int64)
+
+    rows = np.stack([age, gender, occupation.astype(np.int64), income], axis=1)
+    return Table(schema, rows)

@@ -1,0 +1,121 @@
+"""Frequency matrices: the d-dimensional contingency table ``M`` (§II-B).
+
+A :class:`FrequencyMatrix` couples a numpy array with its schema so
+mechanisms, transforms, and query evaluation agree on which axis is which
+attribute.  Noisy outputs (``M*``) are also frequency matrices — entries
+are floats and may be negative, exactly as the paper's mechanisms leave
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+__all__ = ["FrequencyMatrix"]
+
+
+class FrequencyMatrix:
+    """A schema-tagged d-dimensional array of (possibly noisy) counts."""
+
+    def __init__(self, schema: Schema, values: np.ndarray):
+        if not isinstance(schema, Schema):
+            raise SchemaError("schema must be a Schema instance")
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != schema.shape:
+            raise SchemaError(
+                f"matrix shape {values.shape} does not match schema shape {schema.shape}"
+            )
+        self._schema = schema
+        self._values = values
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, schema: Schema) -> "FrequencyMatrix":
+        return cls(schema, np.zeros(schema.shape, dtype=np.float64))
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying array (mutable; treat as owned by this object)."""
+        return self._values
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._values.shape
+
+    @property
+    def num_cells(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def total(self) -> float:
+        """Sum of all entries (= n for an exact matrix)."""
+        return float(self._values.sum())
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "FrequencyMatrix":
+        """Deep copy (values included)."""
+        return FrequencyMatrix(self._schema, self._values.copy())
+
+    def perturb_cell(self, coordinates, delta: float) -> "FrequencyMatrix":
+        """Return a copy with one cell offset by ``delta``.
+
+        Generalized sensitivity (Definition 3) quantifies over matrices at
+        L1 distance ``|delta|``; the sensitivity probe in
+        :mod:`repro.core.sensitivity` is built on this.
+        """
+        self._schema.validate_coordinates(coordinates)
+        out = self.copy()
+        out._values[tuple(int(c) for c in coordinates)] += delta
+        return out
+
+    def l1_distance(self, other: "FrequencyMatrix") -> float:
+        """``||M - M'||_1`` as in Definition 3."""
+        if other.shape != self.shape:
+            raise SchemaError("cannot compare matrices of different shapes")
+        return float(np.abs(self._values - other._values).sum())
+
+    def marginal(self, attribute_names) -> np.ndarray:
+        """Project the matrix onto a subset of attributes (a *marginal*).
+
+        Sums out every dimension not named.  The result's axes follow the
+        schema order of the named attributes.  Marginals are the objects
+        Barak et al.'s mechanism releases (paper §VIII), and they double
+        as a consistency check for noisy matrices.
+        """
+        names = list(attribute_names)
+        keep = self._schema.axes_of(names)
+        if len(set(keep)) != len(keep):
+            raise SchemaError(f"duplicate attribute names: {names}")
+        drop = tuple(i for i in range(self._values.ndim) if i not in keep)
+        summed = self._values.sum(axis=drop) if drop else self._values.copy()
+        # Reorder axes to match the order the caller asked for.
+        kept_sorted = sorted(keep)
+        order = [kept_sorted.index(axis) for axis in keep]
+        return np.transpose(summed, order)
+
+    def range_sum(self, box) -> float:
+        """Sum the entries inside an axis-aligned half-open box.
+
+        ``box`` is a sequence of ``(lo, hi)`` pairs, one per dimension.
+        This is the brute-force evaluator; bulk workloads should use
+        :class:`repro.queries.oracle.RangeSumOracle` instead.
+        """
+        if len(box) != self._values.ndim:
+            raise SchemaError(f"box must have {self._values.ndim} ranges, got {len(box)}")
+        slices = []
+        for (lo, hi), size in zip(box, self.shape):
+            lo, hi = int(lo), int(hi)
+            if not (0 <= lo <= hi <= size):
+                raise SchemaError(f"range [{lo}, {hi}) out of bounds for axis of size {size}")
+            slices.append(slice(lo, hi))
+        return float(self._values[tuple(slices)].sum())
+
+    def __repr__(self) -> str:
+        return f"FrequencyMatrix(shape={self.shape}, total={self.total:.6g})"

@@ -1,0 +1,503 @@
+"""Hierarchies over nominal attribute domains.
+
+A nominal attribute (paper §II-A) carries a rooted tree whose leaves are
+the attribute's domain values and whose internal nodes summarize the
+leaves below them (Figure 1 of the paper shows a country hierarchy).
+Range-count predicates on a nominal attribute select either a single leaf
+or all leaves under one internal node, which is the structure both the
+nominal wavelet transform (§V) and query evaluation exploit.
+
+Design notes
+------------
+* Leaves are numbered in depth-first order, so the leaves under any node
+  form a contiguous interval ``[leaf_start, leaf_end)``.  This is exactly
+  the "imposed total order" of §V-A: it lets nominal predicates be
+  evaluated as interval sums over the frequency matrix, and it lets the
+  plain Haar transform be applied to nominal data as the paper's strawman
+  alternative.
+* Nodes are also numbered in *level order* (root = 0, then level 2 left to
+  right, ...).  The nominal wavelet transform produces one coefficient per
+  hierarchy node in this order, with the base coefficient (root) first —
+  matching the coefficient layout §VI-A requires for the multi-dimensional
+  transform.  Within the level order, children of the same parent are
+  contiguous, which makes sibling groups (mean subtraction, §V-B) simple
+  slices.
+* The nominal weight function ``W_Nom(c) = f/(2f-2)`` is undefined when a
+  parent has fanout 1, so construction rejects internal nodes with fewer
+  than two children (:class:`repro.errors.HierarchyError`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import HierarchyError
+from repro.utils.validation import ensure_positive_int
+
+__all__ = [
+    "Node",
+    "Hierarchy",
+    "balanced_hierarchy",
+    "flat_hierarchy",
+    "two_level_hierarchy",
+    "hierarchy_from_spec",
+]
+
+
+@dataclass
+class Node:
+    """One node of a hierarchy, used only while *building* a hierarchy.
+
+    After :class:`Hierarchy` is constructed the tree is stored in flat
+    arrays for speed; ``Node`` objects remain available through
+    :meth:`Hierarchy.node_label` and friends.
+    """
+
+    label: str
+    children: list["Node"] = field(default_factory=list)
+
+    def add(self, label: str) -> "Node":
+        """Append a child with ``label`` and return it (builder helper)."""
+        child = Node(label)
+        self.children.append(child)
+        return child
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class Hierarchy:
+    """An immutable, validated hierarchy stored in flat numpy arrays.
+
+    Parameters
+    ----------
+    root:
+        Root :class:`Node` of the tree.  Every internal node must have at
+        least two children; leaves must be at least one.
+
+    Attributes (all read-only)
+    --------------------------
+    num_leaves:
+        Number of leaves — the nominal domain size ``|A|``.
+    num_nodes:
+        Total node count — the number of nominal wavelet coefficients the
+        transform emits for this hierarchy (the transform is
+        over-complete; §V-A).
+    height:
+        Number of levels, counting both root and leaf levels.  This is the
+        ``h`` in the paper's ``O(h^2/eps^2)`` bound; Table III reports it
+        in parentheses.
+    """
+
+    def __init__(self, root: Node):
+        if root.is_leaf:
+            # A single-value domain: the hierarchy is one leaf that is its
+            # own root.  Permitted (height 1) but rarely useful.
+            pass
+        self._root = root
+        self._build_arrays(root)
+
+    # ------------------------------------------------------------------
+    # Construction internals
+    # ------------------------------------------------------------------
+    def _build_arrays(self, root: Node) -> None:
+        # Level-order traversal assigning node ids; children of one parent
+        # receive consecutive ids.
+        nodes: list[Node] = [root]
+        parent = [-1]
+        level = [1]
+        frontier = [(root, 0)]
+        while frontier:
+            next_frontier = []
+            for node, node_id in frontier:
+                if node.children and len(node.children) < 2:
+                    raise HierarchyError(
+                        f"internal node {node.label!r} has fanout "
+                        f"{len(node.children)}; the nominal wavelet weight "
+                        "f/(2f-2) requires fanout >= 2"
+                    )
+                for child in node.children:
+                    child_id = len(nodes)
+                    nodes.append(child)
+                    parent.append(node_id)
+                    level.append(level[node_id] + 1)
+                    next_frontier.append((child, child_id))
+            frontier = next_frontier
+
+        n = len(nodes)
+        self._labels = [node.label for node in nodes]
+        self._parent = np.asarray(parent, dtype=np.int64)
+        self._level = np.asarray(level, dtype=np.int64)
+        self._fanout = np.zeros(n, dtype=np.int64)
+        for node_id, node in enumerate(nodes):
+            self._fanout[node_id] = len(node.children)
+
+        # children_start/children_end: the contiguous id range of each
+        # node's children in level order.
+        self._children_start = np.full(n, -1, dtype=np.int64)
+        self._children_end = np.full(n, -1, dtype=np.int64)
+        for child_id in range(1, n):
+            p = self._parent[child_id]
+            if self._children_start[p] == -1:
+                self._children_start[p] = child_id
+            self._children_end[p] = child_id + 1
+
+        # Depth-first leaf numbering -> contiguous leaf intervals per node.
+        self._leaf_start = np.zeros(n, dtype=np.int64)
+        self._leaf_end = np.zeros(n, dtype=np.int64)
+        self._leaf_ids: list[int] = []  # node id of each leaf, in DFS order
+
+        # Iterative DFS assigning leaf intervals.  We need node ids, so map
+        # each Node object to its id first.
+        id_of = {id(node): node_id for node_id, node in enumerate(nodes)}
+        counter = 0
+        stack = [(root, False)]
+        order: list[int] = []
+        while stack:
+            node, processed = stack.pop()
+            node_id = id_of[id(node)]
+            if processed:
+                self._leaf_end[node_id] = counter
+                continue
+            self._leaf_start[node_id] = counter
+            if node.is_leaf:
+                self._leaf_ids.append(node_id)
+                counter += 1
+                self._leaf_end[node_id] = counter
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+            order.append(node_id)
+
+        # leaf_start for internal nodes was set before children ran; fix by
+        # recomputing: leaf_start(node) = leaf_start(first child) etc.  The
+        # DFS above already guarantees this because children were visited
+        # after the parent's leaf_start was recorded at the current counter.
+        self._leaf_index_of_node = np.full(n, -1, dtype=np.int64)
+        for leaf_index, node_id in enumerate(self._leaf_ids):
+            self._leaf_index_of_node[node_id] = leaf_index
+
+        self._num_nodes = n
+        self._num_leaves = len(self._leaf_ids)
+        self._height = int(self._level.max())
+
+        # Level slices: nodes of level k occupy a contiguous id range.
+        self._level_start = np.zeros(self._height + 2, dtype=np.int64)
+        for lvl in range(1, self._height + 2):
+            self._level_start[lvl] = int(np.searchsorted(self._level, lvl))
+        # _level_start[h+1] == n sentinel
+        self._level_start[self._height + 1] = n
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        return self._num_leaves
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_internal_nodes(self) -> int:
+        """Nodes with children; the over-completeness overhead of §V-A."""
+        return int(np.count_nonzero(self._fanout > 0))
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def root_id(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"Hierarchy(leaves={self.num_leaves}, nodes={self.num_nodes}, "
+            f"height={self.height})"
+        )
+
+    # ------------------------------------------------------------------
+    # Node accessors (all by level-order node id)
+    # ------------------------------------------------------------------
+    def node_label(self, node_id: int) -> str:
+        """Human-readable label of a node (by level-order id)."""
+        return self._labels[node_id]
+
+    def parent(self, node_id: int) -> int:
+        """Parent id, or -1 for the root."""
+        return int(self._parent[node_id])
+
+    def fanout(self, node_id: int) -> int:
+        """Number of children (0 for leaves)."""
+        return int(self._fanout[node_id])
+
+    def level(self, node_id: int) -> int:
+        """Level of the node; the root is level 1."""
+        return int(self._level[node_id])
+
+    def is_leaf(self, node_id: int) -> bool:
+        """True if the node has no children."""
+        return self._fanout[node_id] == 0
+
+    def children(self, node_id: int) -> range:
+        """Ids of the node's children (contiguous in level order)."""
+        start = int(self._children_start[node_id])
+        if start == -1:
+            return range(0)
+        return range(start, int(self._children_end[node_id]))
+
+    def leaf_interval(self, node_id: int) -> tuple[int, int]:
+        """Half-open interval of DFS leaf indexes under ``node_id``.
+
+        This is the contiguity property of §V-A: every hierarchy node maps
+        to a contiguous range in the imposed leaf order, so nominal
+        predicates are interval predicates.
+        """
+        return int(self._leaf_start[node_id]), int(self._leaf_end[node_id])
+
+    def leaf_index(self, node_id: int) -> int:
+        """DFS position of a leaf node; raises for internal nodes."""
+        index = int(self._leaf_index_of_node[node_id])
+        if index < 0:
+            raise HierarchyError(f"node {node_id} ({self.node_label(node_id)!r}) is not a leaf")
+        return index
+
+    def leaf_labels(self) -> list[str]:
+        """Labels of all leaves in DFS (domain) order."""
+        return [self._labels[node_id] for node_id in self._leaf_ids]
+
+    def node_id_of_leaf(self, leaf_index: int) -> int:
+        """Inverse of :meth:`leaf_index`."""
+        if not 0 <= leaf_index < self._num_leaves:
+            raise HierarchyError(f"leaf index {leaf_index} out of range [0, {self._num_leaves})")
+        return int(self._leaf_ids[leaf_index])
+
+    def find(self, label: str) -> int:
+        """Return the id of the first node whose label equals ``label``."""
+        try:
+            return self._labels.index(label)
+        except ValueError:
+            raise HierarchyError(f"no node labelled {label!r}") from None
+
+    def level_slice(self, level: int) -> slice:
+        """Slice of node ids at ``level`` (root = level 1)."""
+        if not 1 <= level <= self._height:
+            raise HierarchyError(f"level {level} out of range [1, {self._height}]")
+        return slice(int(self._level_start[level]), int(self._level_start[level + 1]))
+
+    def non_root_node_ids(self) -> np.ndarray:
+        """Ids of every node except the root (valid query predicates)."""
+        return np.arange(1, self._num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Flat-array views used by the nominal transform (read-only)
+    # ------------------------------------------------------------------
+    @property
+    def parent_array(self) -> np.ndarray:
+        """Level-order parent ids (root has -1); do not mutate."""
+        return self._parent
+
+    @property
+    def fanout_array(self) -> np.ndarray:
+        return self._fanout
+
+    @property
+    def level_array(self) -> np.ndarray:
+        return self._level
+
+    @property
+    def leaf_start_array(self) -> np.ndarray:
+        return self._leaf_start
+
+    @property
+    def leaf_end_array(self) -> np.ndarray:
+        return self._leaf_end
+
+    def sibling_groups(self) -> list[slice]:
+        """Contiguous id slices, one per sibling group (children of one node).
+
+        Sibling groups drive the mean-subtraction refinement of §V-B.
+        """
+        groups = []
+        for node_id in range(self._num_nodes):
+            start = int(self._children_start[node_id])
+            if start != -1:
+                groups.append(slice(start, int(self._children_end[node_id])))
+        return groups
+
+    # ------------------------------------------------------------------
+    # Structural checks used by tests
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Re-check structural invariants; raises :class:`HierarchyError`.
+
+        Cheap enough to call from tests and from mechanisms that receive a
+        hierarchy from untrusted construction paths.
+        """
+        if self._leaf_start[0] != 0 or self._leaf_end[0] != self._num_leaves:
+            raise HierarchyError("root leaf interval does not cover the domain")
+        widths = self._leaf_end - self._leaf_start
+        if np.any(widths <= 0):
+            raise HierarchyError("a node has an empty leaf interval")
+        internal = self._fanout > 0
+        if np.any(self._fanout[internal] < 2):
+            raise HierarchyError("an internal node has fanout < 2")
+        for group in self.sibling_groups():
+            parent_ids = set(self._parent[group].tolist())
+            if len(parent_ids) != 1:
+                raise HierarchyError("sibling group spans multiple parents")
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+def flat_hierarchy(labels_or_size, *, root_label: str = "Any") -> Hierarchy:
+    """A two-level hierarchy: one root over all domain values.
+
+    This is the minimal legal hierarchy (height 2) and matches how the
+    paper models attributes like Gender ("2 (2)" in Table III).
+
+    Parameters
+    ----------
+    labels_or_size:
+        Either an iterable of leaf labels or an integer domain size
+        (labels become ``"v0"``, ``"v1"``, ...).
+    """
+    if isinstance(labels_or_size, int):
+        labels = [f"v{i}" for i in range(ensure_positive_int(labels_or_size, "size"))]
+    else:
+        labels = [str(label) for label in labels_or_size]
+    if len(labels) < 2:
+        raise HierarchyError("a flat hierarchy needs at least two leaves")
+    root = Node(root_label)
+    for label in labels:
+        root.add(label)
+    return Hierarchy(root)
+
+
+def two_level_hierarchy(group_sizes, *, root_label: str = "Any", group_prefix: str = "g") -> Hierarchy:
+    """A three-level hierarchy: root -> groups -> leaves.
+
+    ``group_sizes[k]`` leaves are placed under group ``k``.  This is the
+    shape of the paper's Occupation attribute ("512 (3)": 3 levels) and of
+    the synthetic timing datasets (§VII-B: ``sqrt(|A|)`` level-2 nodes).
+    """
+    sizes = [ensure_positive_int(s, "group size") for s in group_sizes]
+    if len(sizes) < 2:
+        raise HierarchyError("a two-level hierarchy needs at least two groups")
+    if any(s < 2 for s in sizes):
+        raise HierarchyError("every group needs at least two leaves (fanout >= 2)")
+    root = Node(root_label)
+    leaf_counter = 0
+    for k, size in enumerate(sizes):
+        group = root.add(f"{group_prefix}{k}")
+        for _ in range(size):
+            group.add(f"v{leaf_counter}")
+            leaf_counter += 1
+    return Hierarchy(root)
+
+
+def balanced_hierarchy(num_leaves: int, fanout: int, *, root_label: str = "Any") -> Hierarchy:
+    """A balanced hierarchy with the given fanout over ``num_leaves`` leaves.
+
+    ``num_leaves`` must be a power of ``fanout``.  Useful for property
+    tests and for the §V-D style analyses where ``h = log_f(m) + 1``.
+    """
+    num_leaves = ensure_positive_int(num_leaves, "num_leaves")
+    fanout = ensure_positive_int(fanout, "fanout")
+    if fanout < 2:
+        raise HierarchyError("fanout must be >= 2")
+    height = 1
+    size = 1
+    while size < num_leaves:
+        size *= fanout
+        height += 1
+    if size != num_leaves:
+        raise HierarchyError(f"num_leaves={num_leaves} is not a power of fanout={fanout}")
+
+    counter = 0
+
+    def build(node: Node, remaining_levels: int) -> None:
+        nonlocal counter
+        if remaining_levels == 0:
+            return
+        for _ in range(fanout):
+            if remaining_levels == 1:
+                node.add(f"v{counter}")
+                counter += 1
+            else:
+                build(node.add(f"n{counter}-{remaining_levels}"), remaining_levels - 1)
+
+    root = Node(root_label)
+    if num_leaves == 1:
+        root.label = "v0"
+        return Hierarchy(root)
+    build(root, height - 1)
+    hierarchy = Hierarchy(root)
+    assert hierarchy.num_leaves == num_leaves
+    return hierarchy
+
+
+def hierarchy_from_spec(spec, *, root_label: str = "Any") -> Hierarchy:
+    """Build a hierarchy from a nested mapping/sequence specification.
+
+    ``spec`` is either a sequence of leaf labels, or a mapping from
+    internal-node label to a child spec::
+
+        hierarchy_from_spec({
+            "North America": ["USA", "Canada"],
+            "South America": ["Brazil", "Argentina"],
+        })
+
+    reproduces the paper's Figure 1 country hierarchy.  Strings and
+    numbers are leaves; mappings are internal nodes; sequences group
+    siblings.  Useful for loading hierarchies from JSON/YAML configs.
+    """
+
+    def attach(node: Node, child_spec) -> None:
+        if isinstance(child_spec, dict):
+            for label, grandchildren in child_spec.items():
+                attach(node.add(str(label)), grandchildren)
+        elif isinstance(child_spec, (list, tuple)):
+            for item in child_spec:
+                if isinstance(item, (dict, list, tuple)):
+                    raise HierarchyError(
+                        "nested containers inside a sequence are ambiguous; "
+                        "use a mapping {label: children} for internal nodes"
+                    )
+                node.add(str(item))
+        else:
+            raise HierarchyError(
+                f"spec nodes must be mappings or sequences of labels, got "
+                f"{type(child_spec).__name__}"
+            )
+
+    root = Node(root_label)
+    attach(root, spec)
+    return Hierarchy(root)
+
+
+def uniform_depth_height_bound(num_leaves: int) -> int:
+    """The paper's ``h <= log2 m`` remark (§V), made precise.
+
+    For hierarchies whose leaves all sit at the bottom level and whose
+    internal nodes have fanout >= 2, each level at least doubles the node
+    count, so a hierarchy over ``m`` leaves has at most
+    ``1 + floor(log2 m)`` levels.  (Hierarchies with leaves at mixed
+    depths — which this library also supports — can be deeper.)
+    """
+    num_leaves = ensure_positive_int(num_leaves, "num_leaves")
+    if num_leaves == 1:
+        return 1
+    return 1 + int(math.floor(math.log2(num_leaves)))

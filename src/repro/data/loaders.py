@@ -1,0 +1,124 @@
+"""CSV ingestion and export for coded tables.
+
+Real deployments receive microdata as delimited text, not integer
+arrays.  :func:`load_table_csv` reads a CSV whose header names the
+schema's attributes (any column order; extra columns ignored) and codes
+each value:
+
+* **ordinal** attributes accept integer codes directly, or — when the
+  attribute was declared with ``labels`` — the label strings;
+* **nominal** attributes accept leaf labels from the hierarchy (coded to
+  the DFS leaf index) or integer codes.
+
+:func:`save_table_csv` is the inverse.  Both stream row-by-row via the
+stdlib ``csv`` module, so memory stays O(1) in the file size beyond the
+output table itself.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.errors import SchemaError
+
+__all__ = ["load_table_csv", "save_table_csv"]
+
+
+def _decoder_for(attribute):
+    """Return a str -> code function for one attribute."""
+    if isinstance(attribute, OrdinalAttribute):
+        labels = attribute.labels
+        label_map = {label: i for i, label in enumerate(labels)} if labels else {}
+
+        def decode_ordinal(text: str) -> int:
+            if text in label_map:
+                return label_map[text]
+            try:
+                code = int(text)
+            except ValueError:
+                raise SchemaError(
+                    f"{attribute.name!r}: cannot decode value {text!r}"
+                ) from None
+            if not 0 <= code < attribute.size:
+                raise SchemaError(
+                    f"{attribute.name!r}: code {code} out of range [0, {attribute.size})"
+                )
+            return code
+
+        return decode_ordinal
+
+    if isinstance(attribute, NominalAttribute):
+        label_map = {label: i for i, label in enumerate(attribute.hierarchy.leaf_labels())}
+
+        def decode_nominal(text: str) -> int:
+            if text in label_map:
+                return label_map[text]
+            try:
+                code = int(text)
+            except ValueError:
+                raise SchemaError(
+                    f"{attribute.name!r}: {text!r} is not a hierarchy leaf label"
+                ) from None
+            if not 0 <= code < attribute.size:
+                raise SchemaError(
+                    f"{attribute.name!r}: code {code} out of range [0, {attribute.size})"
+                )
+            return code
+
+        return decode_nominal
+
+    raise SchemaError(f"unsupported attribute type {type(attribute).__name__}")
+
+
+def load_table_csv(path, schema: Schema) -> Table:
+    """Read a coded table from a CSV file with a header row."""
+    decoders = [_decoder_for(attribute) for attribute in schema]
+    rows = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise SchemaError(f"{path}: empty file (no header row)")
+        missing = [name for name in schema.names if name not in reader.fieldnames]
+        if missing:
+            raise SchemaError(f"{path}: missing columns {missing}")
+        for line_number, record in enumerate(reader, start=2):
+            try:
+                rows.append(
+                    [
+                        decode(record[name])
+                        for name, decode in zip(schema.names, decoders)
+                    ]
+                )
+            except SchemaError as exc:
+                raise SchemaError(f"{path}:{line_number}: {exc}") from exc
+    data = np.asarray(rows, dtype=np.int64) if rows else np.empty((0, len(schema)), np.int64)
+    return Table(schema, data)
+
+
+def save_table_csv(path, table: Table, *, use_labels: bool = True) -> None:
+    """Write a table to CSV; labels are used where available."""
+    schema = table.schema
+    encoders = []
+    for attribute in schema:
+        if use_labels and isinstance(attribute, NominalAttribute):
+            labels = attribute.hierarchy.leaf_labels()
+            encoders.append(lambda code, labels=labels: labels[code])
+        elif (
+            use_labels
+            and isinstance(attribute, OrdinalAttribute)
+            and attribute.labels is not None
+        ):
+            labels = attribute.labels
+            encoders.append(lambda code, labels=labels: labels[code])
+        else:
+            encoders.append(str)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.names)
+        for row in table.rows:
+            writer.writerow([encode(int(code)) for encode, code in zip(encoders, row)])

@@ -1,0 +1,78 @@
+"""Uniform synthetic datasets for the timing experiments (paper §VII-B).
+
+The paper's scalability study generates tables with:
+
+* two ordinal and two nominal attributes,
+* per-attribute domain size ``m**(1/4)`` (so the frequency matrix has
+  ``m`` cells),
+* each nominal hierarchy has three levels with ``sqrt(|A|)`` level-2
+  nodes,
+* tuple values uniform over the attribute domains.
+
+Figure 10 fixes ``m = 2**24`` and sweeps ``n`` from 1M to 5M; Figure 11
+fixes ``n = 5 * 10**6`` and sweeps ``m`` from ``2**22`` to ``2**26``.
+The benchmark harness uses smaller defaults (see DESIGN.md) but this
+module supports the full sizes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.hierarchy import two_level_hierarchy
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.utils.rng import as_generator
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["timing_schema", "generate_uniform_table", "domain_size_for_cells"]
+
+
+def domain_size_for_cells(num_cells: int, dimensions: int = 4) -> int:
+    """Per-attribute domain size so the matrix has ~``num_cells`` cells.
+
+    Rounds ``num_cells ** (1/dimensions)`` down to the nearest even
+    integer >= 4 so the 3-level hierarchies stay legal.
+    """
+    num_cells = ensure_positive_int(num_cells, "num_cells")
+    size = int(round(num_cells ** (1.0 / dimensions)))
+    size -= size % 2
+    return max(4, size)
+
+
+def _three_level_hierarchy(size: int):
+    """3-level hierarchy with ``sqrt(size)`` middle nodes (§VII-B shape)."""
+    num_groups = max(2, int(round(math.sqrt(size))))
+    num_groups = min(num_groups, size // 2)
+    base = size // num_groups
+    remainder = size - base * num_groups
+    sizes = [base + 1] * remainder + [base] * (num_groups - remainder)
+    return two_level_hierarchy(sizes)
+
+
+def timing_schema(attribute_size: int) -> Schema:
+    """Two ordinal + two nominal attributes, all with domain ``attribute_size``."""
+    attribute_size = ensure_positive_int(attribute_size, "attribute_size")
+    if attribute_size < 4:
+        raise ValueError("attribute_size must be >= 4 for a legal 3-level hierarchy")
+    return Schema(
+        [
+            OrdinalAttribute("O1", attribute_size),
+            OrdinalAttribute("O2", attribute_size),
+            NominalAttribute("N1", _three_level_hierarchy(attribute_size)),
+            NominalAttribute("N2", _three_level_hierarchy(attribute_size)),
+        ]
+    )
+
+
+def generate_uniform_table(num_rows: int, num_cells: int, *, seed=None) -> Table:
+    """Generate the §VII-B uniform table with ~``num_cells`` matrix cells."""
+    num_rows = ensure_positive_int(num_rows, "num_rows")
+    schema = timing_schema(domain_size_for_cells(num_cells))
+    rng = as_generator(seed)
+    columns = [rng.integers(0, attr.size, size=num_rows) for attr in schema]
+    rows = np.stack(columns, axis=1)
+    return Table(schema, rows)

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  The
+subclasses mirror the major subsystems: data modelling, hierarchy
+construction, transforms, query evaluation, and privacy accounting.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A schema, attribute, or table definition is invalid."""
+
+
+class HierarchyError(SchemaError):
+    """A nominal-attribute hierarchy violates a structural requirement.
+
+    The nominal wavelet transform requires every internal node to have a
+    fanout of at least two (otherwise the weight ``f / (2f - 2)`` used by
+    :func:`repro.core.weights.nominal_weight_vector` is undefined).
+    """
+
+
+class TransformError(ReproError):
+    """A wavelet transform was applied to incompatible input."""
+
+
+class QueryError(ReproError):
+    """A range-count query is malformed or incompatible with its schema."""
+
+
+class PrivacyError(ReproError):
+    """A privacy parameter (epsilon, lambda, sensitivity) is invalid."""

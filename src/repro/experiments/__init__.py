@@ -1,0 +1,35 @@
+"""Experiment harness: configs, runners, and per-figure drivers."""
+
+from repro.experiments.config import AccuracyConfig, TimingConfig, full_scale_requested
+from repro.experiments.figures import (
+    PAPER_SA,
+    TimingPoint,
+    TimingRun,
+    prepare_census_experiment,
+    run_relative_error_vs_selectivity,
+    run_square_error_vs_coverage,
+    run_time_vs_m,
+    run_time_vs_n,
+)
+from repro.experiments.reporting import format_accuracy_run, format_timing_run
+from repro.experiments.runner import AccuracyRun, BucketedSeries, run_accuracy, time_mechanism
+
+__all__ = [
+    "AccuracyConfig",
+    "TimingConfig",
+    "full_scale_requested",
+    "PAPER_SA",
+    "prepare_census_experiment",
+    "run_square_error_vs_coverage",
+    "run_relative_error_vs_selectivity",
+    "run_time_vs_n",
+    "run_time_vs_m",
+    "TimingPoint",
+    "TimingRun",
+    "AccuracyRun",
+    "BucketedSeries",
+    "run_accuracy",
+    "time_mechanism",
+    "format_accuracy_run",
+    "format_timing_run",
+]

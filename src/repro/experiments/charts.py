@@ -1,0 +1,84 @@
+"""ASCII charts for experiment results.
+
+The paper's figures are log-log scatter plots; the benchmark harness is
+text-only, so this module renders series as fixed-width ASCII charts
+good enough to eyeball the shapes (linear growth, flat curves,
+crossovers) directly in the terminal or in ``results/*.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@"
+
+
+def _log_positions(values, low, high, width):
+    values = np.asarray(values, dtype=np.float64)
+    span = math.log10(high) - math.log10(low)
+    if span <= 0:
+        return np.zeros(len(values), dtype=int)
+    fractions = (np.log10(values) - math.log10(low)) / span
+    return np.clip(np.rint(fractions * (width - 1)).astype(int), 0, width - 1)
+
+
+def ascii_chart(
+    x_values,
+    series: dict,
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named series on a log-log grid.
+
+    Parameters
+    ----------
+    x_values:
+        Common positive x coordinates.
+    series:
+        Mapping from series name to a sequence of positive y values
+        (same length as ``x_values``).  Up to six series get distinct
+        markers; later markers cycle.
+    """
+    x_values = np.asarray(x_values, dtype=np.float64)
+    if x_values.ndim != 1 or len(x_values) == 0:
+        raise ValueError("x_values must be a non-empty 1-D sequence")
+    if np.any(x_values <= 0):
+        raise ValueError("log-log chart needs positive x values")
+    for name, ys in series.items():
+        ys = np.asarray(ys, dtype=np.float64)
+        if ys.shape != x_values.shape:
+            raise ValueError(f"series {name!r} length does not match x_values")
+        if np.any(ys <= 0):
+            raise ValueError(f"series {name!r} has non-positive values (log scale)")
+
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for ys in series.values()])
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    if y_high == y_low:
+        y_high = y_low * 10.0
+    x_low, x_high = float(x_values.min()), float(x_values.max())
+    if x_high == x_low:
+        x_high = x_low * 10.0
+
+    grid = [[" "] * width for _ in range(height)]
+    columns = _log_positions(x_values, x_low, x_high, width)
+    legend = []
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        rows = _log_positions(ys, y_low, y_high, height)
+        for column, row in zip(columns, rows):
+            grid[height - 1 - row][column] = marker
+
+    lines = [f"{y_label} (log scale, {y_low:.2e} .. {y_high:.2e})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} (log scale, {x_low:.3g} .. {x_high:.3g})")
+    lines.append(" " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Experiment configuration shared by the figure runners and benchmarks.
+
+The paper's experiments run at scales that need tens of gigabytes
+(census matrices with ``m > 10^8`` cells; timing sweeps to ``m = 2^26``
+and ``n = 5M``).  The default configuration here is laptop-sized but
+preserves every structural property the figures depend on; setting the
+environment variable ``REPRO_FULL=1`` (or building a config with
+``full=True``) switches to the paper's exact sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["AccuracyConfig", "TimingConfig", "full_scale_requested"]
+
+#: ε grid of Figures 6–9.
+PAPER_EPSILONS = (0.5, 0.75, 1.0, 1.25)
+
+
+def full_scale_requested() -> bool:
+    """True when the ``REPRO_FULL`` environment variable asks for paper scale."""
+    return os.environ.get("REPRO_FULL", "").strip() in {"1", "true", "yes"}
+
+
+@dataclass(frozen=True)
+class AccuracyConfig:
+    """Configuration for the Figures 6–9 accuracy experiments."""
+
+    #: Dataset scale factor applied to the census spec (1.0 = Table III).
+    scale: float = 0.25
+    #: Number of tuples to generate (paper: 10M Brazil / 8M US).
+    num_rows: int = 200_000
+    #: Number of random range-count queries (paper: 40 000).
+    num_queries: int = 40_000
+    #: ε values (paper: 0.5, 0.75, 1, 1.25).
+    epsilons: tuple[float, ...] = PAPER_EPSILONS
+    #: Quintile bucket count for coverage/selectivity grouping.
+    num_buckets: int = 5
+    #: Master seed for data, workload, and noise.
+    seed: int = 20100301
+
+    @classmethod
+    def for_environment(cls) -> "AccuracyConfig":
+        """Paper scale when ``REPRO_FULL=1``, laptop scale otherwise."""
+        if full_scale_requested():
+            return cls(scale=1.0, num_rows=10_000_000, num_queries=40_000)
+        return cls()
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Configuration for the Figures 10–11 scalability experiments."""
+
+    #: Tuple counts for the n-sweep (paper: 1M..5M, m fixed at 2^24).
+    #: Laptop default keeps the paper's n/m balance — n large enough that
+    #: the O(n) table-scan term is visible next to the O(m) transform.
+    n_values: tuple[int, ...] = (500_000, 1_000_000, 1_500_000, 2_000_000, 2_500_000)
+    #: Fixed m for the n-sweep (paper: 2^24).
+    fixed_m: int = 2**16
+    #: Cell counts for the m-sweep (paper: 2^22..2^26, n fixed at 5M).
+    m_values: tuple[int, ...] = (2**16, 2**17, 2**18, 2**19, 2**20)
+    #: Fixed n for the m-sweep (paper: 5 * 10^6).
+    fixed_n: int = 200_000
+    #: Repetitions per point (timings use the minimum across repeats).
+    repeats: int = 1
+    seed: int = 20100302
+
+    @classmethod
+    def for_environment(cls) -> "TimingConfig":
+        if full_scale_requested():
+            return cls(
+                n_values=(1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000),
+                fixed_m=2**24,
+                m_values=(2**22, 2**23, 2**24, 2**25, 2**26),
+                fixed_n=5_000_000,
+            )
+        return cls()

@@ -1,0 +1,164 @@
+"""Top-level drivers, one per reproducible figure of the paper.
+
+Each function regenerates the data behind one figure and returns a
+structured result; :mod:`repro.experiments.reporting` renders them as the
+text tables the benchmark harness prints.  See DESIGN.md §4 for the
+figure-to-module index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.basic import BasicMechanism
+from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.data.census import BRAZIL, CensusSpec, generate_census_table
+from repro.data.synthetic import generate_uniform_table
+from repro.experiments.config import AccuracyConfig, TimingConfig
+from repro.experiments.runner import AccuracyRun, run_accuracy, time_mechanism
+from repro.queries.workload import Workload, generate_workload
+
+__all__ = [
+    "prepare_census_experiment",
+    "run_square_error_vs_coverage",
+    "run_relative_error_vs_selectivity",
+    "TimingPoint",
+    "TimingRun",
+    "run_time_vs_n",
+    "run_time_vs_m",
+    "PAPER_SA",
+]
+
+#: §VII-A: Privelet+ uses SA = {Age, Gender} on the census data (both
+#: satisfy |A| <= P(A)^2 H(A)).
+PAPER_SA = ("Age", "Gender")
+
+
+def default_mechanisms() -> list:
+    """Basic vs Privelet+(SA={Age, Gender}) — the Figures 6–9 contenders."""
+    return [BasicMechanism(), PriveletPlusMechanism(sa_names=PAPER_SA)]
+
+
+def prepare_census_experiment(spec: CensusSpec, config: AccuracyConfig):
+    """Generate a census table, its frequency matrix, and a bound workload.
+
+    Shared by the Figure 6/7 and Figure 8/9 drivers so that a pair of
+    figures over the same dataset reuses one dataset and workload (as the
+    paper does).
+    """
+    scaled = spec.scaled(config.scale)
+    table = generate_census_table(scaled, config.num_rows, seed=config.seed)
+    matrix = table.frequency_matrix()
+    queries = generate_workload(
+        table.schema, config.num_queries, max_predicates=4, seed=config.seed + 1
+    )
+    workload = Workload.evaluate(queries, matrix)
+    return table, matrix, workload
+
+
+def run_square_error_vs_coverage(
+    spec: CensusSpec = BRAZIL,
+    config: AccuracyConfig | None = None,
+    *,
+    prepared=None,
+) -> AccuracyRun:
+    """Figure 6 (Brazil) / Figure 7 (US): average square error vs coverage."""
+    config = config or AccuracyConfig.for_environment()
+    table, matrix, workload = prepared or prepare_census_experiment(spec, config)
+    return run_accuracy(
+        spec.name,
+        matrix,
+        workload,
+        default_mechanisms(),
+        config.epsilons,
+        metric="square",
+        measure="coverage",
+        num_buckets=config.num_buckets,
+        num_tuples=table.num_rows,
+        seed=config.seed + 2,
+    )
+
+
+def run_relative_error_vs_selectivity(
+    spec: CensusSpec = BRAZIL,
+    config: AccuracyConfig | None = None,
+    *,
+    prepared=None,
+) -> AccuracyRun:
+    """Figure 8 (Brazil) / Figure 9 (US): average relative error vs selectivity."""
+    config = config or AccuracyConfig.for_environment()
+    table, matrix, workload = prepared or prepare_census_experiment(spec, config)
+    return run_accuracy(
+        spec.name,
+        matrix,
+        workload,
+        default_mechanisms(),
+        config.epsilons,
+        metric="relative",
+        measure="selectivity",
+        num_buckets=config.num_buckets,
+        num_tuples=table.num_rows,
+        seed=config.seed + 3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 10 and 11: computation time
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TimingPoint:
+    """One x-position of Figure 10/11: both mechanisms' times."""
+
+    x: int  # n for Figure 10, m for Figure 11
+    basic_seconds: float
+    privelet_seconds: float
+
+
+@dataclass(frozen=True)
+class TimingRun:
+    """A full timing sweep (one figure)."""
+
+    sweep: str  # "n" or "m"
+    fixed: int  # the fixed other parameter
+    points: tuple[TimingPoint, ...]
+
+
+def _timing_mechanisms() -> tuple:
+    # §VII-B: Privelet+ is run with SA = {} (the slowest configuration,
+    # transforming every dimension).
+    return BasicMechanism(), PriveletPlusMechanism(sa_names=())
+
+
+def run_time_vs_n(config: TimingConfig | None = None) -> TimingRun:
+    """Figure 10: computation time as a function of the tuple count n."""
+    config = config or TimingConfig.for_environment()
+    basic, privelet = _timing_mechanisms()
+    points = []
+    for i, n in enumerate(config.n_values):
+        table = generate_uniform_table(n, config.fixed_m, seed=config.seed + i)
+        points.append(
+            TimingPoint(
+                x=int(n),
+                basic_seconds=time_mechanism(basic, table, 1.0, repeats=config.repeats),
+                privelet_seconds=time_mechanism(privelet, table, 1.0, repeats=config.repeats),
+            )
+        )
+    return TimingRun(sweep="n", fixed=int(config.fixed_m), points=tuple(points))
+
+
+def run_time_vs_m(config: TimingConfig | None = None) -> TimingRun:
+    """Figure 11: computation time as a function of the cell count m."""
+    config = config or TimingConfig.for_environment()
+    basic, privelet = _timing_mechanisms()
+    points = []
+    for i, m in enumerate(config.m_values):
+        table = generate_uniform_table(config.fixed_n, m, seed=config.seed + 100 + i)
+        points.append(
+            TimingPoint(
+                x=int(m),
+                basic_seconds=time_mechanism(basic, table, 1.0, repeats=config.repeats),
+                privelet_seconds=time_mechanism(privelet, table, 1.0, repeats=config.repeats),
+            )
+        )
+    return TimingRun(sweep="m", fixed=int(config.fixed_n), points=tuple(points))

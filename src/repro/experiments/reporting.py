@@ -1,0 +1,87 @@
+"""Text rendering of experiment results, shaped like the paper's figures.
+
+The benchmark harness prints these tables (and EXPERIMENTS.md records
+them) so a reader can compare rows directly against Figures 6–11.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.charts import ascii_chart
+from repro.experiments.runner import AccuracyRun
+from repro.experiments.figures import TimingRun
+
+__all__ = ["format_accuracy_run", "format_timing_run"]
+
+
+def _sci(value: float) -> str:
+    return f"{value:11.3e}"
+
+
+def format_accuracy_run(run: AccuracyRun, *, title: str = "", chart: bool = False) -> str:
+    """Render one accuracy figure: a block per ε, one row per mechanism.
+
+    Columns are the quintile buckets (their average coverage/selectivity
+    on the header row), matching the X axes of Figures 6–9.  With
+    ``chart=True``, a log-log ASCII plot of the first ε panel is appended
+    so the curve shapes are visible at a glance.
+    """
+    lines = []
+    header = title or f"{run.dataset}: average {run.metric} error vs {run.measure}"
+    lines.append(header)
+    lines.append("=" * len(header))
+    lines.append(f"queries={run.num_queries}  tuples={run.num_tuples}")
+
+    epsilons = sorted({series.epsilon for series in run.series})
+    mechanisms = []
+    for series in run.series:
+        if series.mechanism not in mechanisms:
+            mechanisms.append(series.mechanism)
+
+    for epsilon in epsilons:
+        lines.append("")
+        lines.append(f"epsilon = {epsilon:g}")
+        any_series = next(s for s in run.series if s.epsilon == epsilon)
+        centers = "  ".join(_sci(c) for c in any_series.bucket_centers)
+        lines.append(f"  {run.measure:>24}: {centers}")
+        for mechanism in mechanisms:
+            series = run.series_for(mechanism, epsilon)
+            errors = "  ".join(_sci(e) for e in series.bucket_errors)
+            lines.append(f"  {mechanism:>24}: {errors}")
+
+    if chart and epsilons:
+        first = epsilons[0]
+        reference = next(s for s in run.series if s.epsilon == first)
+        try:
+            rendered = ascii_chart(
+                reference.bucket_centers,
+                {
+                    mechanism: run.series_for(mechanism, first).bucket_errors
+                    for mechanism in mechanisms
+                },
+                x_label=run.measure,
+                y_label=f"avg {run.metric} error",
+            )
+        except ValueError:
+            rendered = None  # zero buckets cannot go on a log scale
+        if rendered:
+            lines.append("")
+            lines.append(f"shape at epsilon = {first:g}:")
+            lines.append(rendered)
+    return "\n".join(lines)
+
+
+def format_timing_run(run: TimingRun, *, title: str = "") -> str:
+    """Render one timing figure: one row per sweep point."""
+    other = "m" if run.sweep == "n" else "n"
+    lines = []
+    header = title or f"computation time vs {run.sweep} ({other} = {run.fixed})"
+    lines.append(header)
+    lines.append("=" * len(header))
+    lines.append(f"{run.sweep:>12}  {'Basic (s)':>12}  {'Privelet+ (s)':>13}  {'ratio':>7}")
+    for point in run.points:
+        ratio = point.privelet_seconds / point.basic_seconds if point.basic_seconds else float("nan")
+        lines.append(
+            f"{point.x:>12}  {point.basic_seconds:>12.3f}  "
+            f"{point.privelet_seconds:>13.3f}  {ratio:>7.2f}"
+        )
+    return "\n".join(lines)

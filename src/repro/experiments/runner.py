@@ -1,0 +1,148 @@
+"""Run mechanisms against datasets and workloads; collect bucketed errors.
+
+This is the measurement core behind Figures 6–9: publish a noisy matrix
+per (mechanism, ε), answer the whole workload on it through a prefix-sum
+oracle, and average an error metric inside coverage- or selectivity-
+quintile buckets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.framework import PublishingMechanism
+from repro.data.frequency import FrequencyMatrix
+from repro.queries.error import relative_error, sanity_bound, square_error
+from repro.queries.oracle import RangeSumOracle
+from repro.queries.workload import Workload, quintile_buckets
+from repro.utils.rng import spawn_generators
+
+__all__ = ["BucketedSeries", "AccuracyRun", "run_accuracy", "time_mechanism"]
+
+
+@dataclass(frozen=True)
+class BucketedSeries:
+    """One curve of a Figure 6–9 panel: a mechanism at one ε."""
+
+    mechanism: str
+    epsilon: float
+    #: Average of the bucketing measure (coverage or selectivity) per bucket.
+    bucket_centers: np.ndarray
+    #: Average error per bucket.
+    bucket_errors: np.ndarray
+    #: Error over the whole workload (unbucketed mean).
+    overall_error: float
+
+
+@dataclass(frozen=True)
+class AccuracyRun:
+    """All series for one dataset: the contents of one paper figure."""
+
+    dataset: str
+    metric: str  # "square" or "relative"
+    measure: str  # "coverage" or "selectivity"
+    series: tuple[BucketedSeries, ...]
+    num_queries: int
+    num_tuples: int
+
+    def series_for(self, mechanism: str, epsilon: float) -> BucketedSeries:
+        """Look up one mechanism's curve at one epsilon."""
+        for series in self.series:
+            if series.mechanism == mechanism and series.epsilon == epsilon:
+                return series
+        raise KeyError(f"no series for {mechanism!r} at epsilon={epsilon}")
+
+
+def _bucket_series(
+    mechanism_name: str,
+    epsilon: float,
+    errors: np.ndarray,
+    measure_values: np.ndarray,
+    buckets: list[np.ndarray],
+) -> BucketedSeries:
+    centers = np.asarray([measure_values[b].mean() for b in buckets])
+    bucket_errors = np.asarray([errors[b].mean() for b in buckets])
+    return BucketedSeries(
+        mechanism=mechanism_name,
+        epsilon=epsilon,
+        bucket_centers=centers,
+        bucket_errors=bucket_errors,
+        overall_error=float(errors.mean()),
+    )
+
+
+def run_accuracy(
+    dataset_name: str,
+    exact_matrix: FrequencyMatrix,
+    workload: Workload,
+    mechanisms: list[PublishingMechanism],
+    epsilons,
+    *,
+    metric: str = "square",
+    measure: str = "coverage",
+    num_buckets: int = 5,
+    num_tuples: int | None = None,
+    seed=None,
+) -> AccuracyRun:
+    """Measure bucketed average errors for every (mechanism, ε) pair.
+
+    Parameters mirror §VII-A: ``metric="square"`` with
+    ``measure="coverage"`` reproduces Figures 6–7;
+    ``metric="relative"`` with ``measure="selectivity"`` reproduces
+    Figures 8–9 (the relative metric applies the 0.1%·n sanity bound).
+    """
+    if metric not in {"square", "relative"}:
+        raise ValueError(f"unknown metric {metric!r}")
+    if measure not in {"coverage", "selectivity"}:
+        raise ValueError(f"unknown measure {measure!r}")
+
+    measure_values = (
+        workload.coverages if measure == "coverage" else workload.selectivities
+    )
+    buckets = quintile_buckets(measure_values, num_buckets)
+    num_tuples = int(num_tuples if num_tuples is not None else round(exact_matrix.total))
+    sanity = sanity_bound(num_tuples) if metric == "relative" else None
+
+    epsilons = tuple(float(e) for e in epsilons)
+    rngs = spawn_generators(seed, len(mechanisms) * len(epsilons))
+
+    all_series = []
+    stream = iter(rngs)
+    for mechanism in mechanisms:
+        for epsilon in epsilons:
+            result = mechanism.publish_matrix(exact_matrix, epsilon, seed=next(stream))
+            oracle = RangeSumOracle(result.matrix)
+            answers = oracle.answer_all(workload.queries)
+            if metric == "square":
+                errors = square_error(answers, workload.exact_answers)
+            else:
+                errors = relative_error(answers, workload.exact_answers, sanity)
+            all_series.append(
+                _bucket_series(mechanism.name, epsilon, errors, measure_values, buckets)
+            )
+
+    return AccuracyRun(
+        dataset=dataset_name,
+        metric=metric,
+        measure=measure,
+        series=tuple(all_series),
+        num_queries=len(workload),
+        num_tuples=num_tuples,
+    )
+
+
+def time_mechanism(mechanism: PublishingMechanism, table, epsilon: float, *, repeats: int = 1, seed=None) -> float:
+    """Wall-clock seconds for one end-to-end publish (min over repeats).
+
+    Includes the table -> frequency-matrix step, matching the paper's
+    "computation time" which covers the whole publishing pipeline.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        mechanism.publish(table, epsilon, seed=seed)
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,133 @@
+"""Persistence for published results.
+
+A data publisher runs the mechanism once and distributes the noisy
+frequency matrix; consumers need to reload it with its schema and privacy
+accounting intact.  This module stores a
+:class:`~repro.core.framework.PublishResult` as a single ``.npz`` archive:
+the matrix as an array, the schema as a JSON description (attribute
+kinds, domain sizes, hierarchy structure), and the accounting scalars.
+
+Hierarchies are serialized by their parent arrays + labels, which is
+enough to rebuild an identical :class:`~repro.data.hierarchy.Hierarchy`
+(level-order ids and DFS leaf order are deterministic functions of the
+tree shape).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.framework import PublishResult
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.hierarchy import Hierarchy, Node
+from repro.data.schema import Schema
+from repro.errors import ReproError
+
+__all__ = ["save_result", "load_result", "schema_to_dict", "schema_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def _hierarchy_to_dict(hierarchy: Hierarchy) -> dict:
+    return {
+        "labels": [hierarchy.node_label(i) for i in range(hierarchy.num_nodes)],
+        "parents": hierarchy.parent_array.tolist(),
+    }
+
+
+def _hierarchy_from_dict(payload: dict) -> Hierarchy:
+    labels = payload["labels"]
+    parents = payload["parents"]
+    if len(labels) != len(parents):
+        raise ReproError("corrupt hierarchy payload: labels/parents length mismatch")
+    nodes = [Node(label) for label in labels]
+    for node_id, parent in enumerate(parents):
+        if parent == -1:
+            continue
+        nodes[parent].children.append(nodes[node_id])
+    return Hierarchy(nodes[0])
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    """JSON-serializable description of a schema."""
+    attributes = []
+    for attr in schema:
+        if isinstance(attr, OrdinalAttribute):
+            attributes.append(
+                {"kind": "ordinal", "name": attr.name, "size": attr.size}
+            )
+        elif isinstance(attr, NominalAttribute):
+            attributes.append(
+                {
+                    "kind": "nominal",
+                    "name": attr.name,
+                    "hierarchy": _hierarchy_to_dict(attr.hierarchy),
+                }
+            )
+        else:  # pragma: no cover - no other kinds exist
+            raise ReproError(f"unsupported attribute type {type(attr).__name__}")
+    return {"version": _FORMAT_VERSION, "attributes": attributes}
+
+
+def schema_from_dict(payload: dict) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ReproError(f"unsupported schema format version {payload.get('version')!r}")
+    attributes = []
+    for entry in payload["attributes"]:
+        if entry["kind"] == "ordinal":
+            attributes.append(OrdinalAttribute(entry["name"], entry["size"]))
+        elif entry["kind"] == "nominal":
+            attributes.append(
+                NominalAttribute(entry["name"], _hierarchy_from_dict(entry["hierarchy"]))
+            )
+        else:
+            raise ReproError(f"unknown attribute kind {entry['kind']!r}")
+    return Schema(attributes)
+
+
+def save_result(path, result: PublishResult) -> None:
+    """Write a published result to ``path`` (``.npz`` archive)."""
+    header = {
+        "schema": schema_to_dict(result.matrix.schema),
+        "epsilon": result.epsilon,
+        "noise_magnitude": result.noise_magnitude,
+        "generalized_sensitivity": result.generalized_sensitivity,
+        "variance_bound": result.variance_bound,
+        "details": {k: _jsonable(v) for k, v in result.details.items()},
+    }
+    np.savez_compressed(
+        path,
+        values=result.matrix.values,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_result(path) -> PublishResult:
+    """Reload a result written by :func:`save_result`."""
+    with np.load(path) as archive:
+        try:
+            header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+            values = archive["values"]
+        except KeyError as exc:
+            raise ReproError(f"not a repro result archive: missing {exc}") from exc
+    schema = schema_from_dict(header["schema"])
+    return PublishResult(
+        matrix=FrequencyMatrix(schema, values),
+        epsilon=float(header["epsilon"]),
+        noise_magnitude=float(header["noise_magnitude"]),
+        generalized_sensitivity=float(header["generalized_sensitivity"]),
+        variance_bound=float(header["variance_bound"]),
+        details=header.get("details", {}),
+    )
+
+
+def _jsonable(value):
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

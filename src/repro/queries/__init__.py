@@ -1,0 +1,36 @@
+"""Range-count queries: predicates, evaluation, workloads, error metrics."""
+
+from repro.queries.error import (
+    DEFAULT_SANITY_FRACTION,
+    relative_error,
+    sanity_bound,
+    square_error,
+)
+from repro.queries.engine import QueryAnswer, QueryEngine
+from repro.queries.oracle import RangeSumOracle
+from repro.queries.predicate import (
+    Predicate,
+    full_range_predicate,
+    hierarchy_predicate,
+    interval_predicate,
+)
+from repro.queries.query import RangeCountQuery
+from repro.queries.workload import Workload, generate_workload, quintile_buckets
+
+__all__ = [
+    "Predicate",
+    "interval_predicate",
+    "hierarchy_predicate",
+    "full_range_predicate",
+    "RangeCountQuery",
+    "RangeSumOracle",
+    "QueryEngine",
+    "QueryAnswer",
+    "Workload",
+    "generate_workload",
+    "quintile_buckets",
+    "square_error",
+    "relative_error",
+    "sanity_bound",
+    "DEFAULT_SANITY_FRACTION",
+]

@@ -1,0 +1,202 @@
+"""A query engine over published results, with uncertainty estimates.
+
+Downstream consumers of a DP release need more than point answers: they
+need to know how noisy each answer is.  Because Privelet's noise is a
+known linear function of independent Laplace draws, the *exact* standard
+deviation of every range-count answer is computable from the release
+metadata alone (no additional privacy cost — it depends only on the
+mechanism configuration, not the data).  :class:`QueryEngine` packages:
+
+* point answers via the prefix-sum oracle,
+* exact noise variance per query (:mod:`repro.analysis.exact`),
+* Gaussian-approximation confidence intervals (a range answer sums many
+  independent Laplace terms, so the CLT applies; for one-coefficient
+  answers the interval is conservative by design — we widen the Gaussian
+  quantile to the Laplace one when the effective term count is tiny).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.exact import query_noise_variance
+from repro.core.framework import PublishResult
+from repro.errors import QueryError
+from repro.queries.oracle import RangeSumOracle
+from repro.queries.query import RangeCountQuery
+from repro.transforms.multidim import HNTransform
+from repro.utils.validation import ensure_in_range
+
+__all__ = ["QueryAnswer", "QueryEngine"]
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """A private answer with its noise profile."""
+
+    estimate: float
+    #: Exact standard deviation of the noise in ``estimate``.
+    noise_std: float
+    #: Confidence interval at the level the engine was asked for.
+    lower: float
+    upper: float
+    confidence: float
+
+
+def _gaussian_quantile(p: float) -> float:
+    """Inverse standard-normal CDF via the Acklam rational approximation.
+
+    Accurate to ~1e-9 over (0, 1); avoids a scipy dependency in the
+    query path (scipy is only used by the Barak baseline).
+    """
+    if not 0.0 < p < 1.0:
+        raise QueryError(f"quantile probability must be in (0, 1), got {p}")
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        return -_gaussian_quantile(1.0 - p)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+class QueryEngine:
+    """Answer queries on one :class:`PublishResult` with noise accounting.
+
+    Parameters
+    ----------
+    result:
+        A published result from any mechanism in this library.
+    sa_names:
+        Override for the SA set used to rebuild the transform.  Usually
+        inferred from ``result.details`` (Basic implies all attributes).
+    """
+
+    def __init__(self, result: PublishResult, *, sa_names=None):
+        self._result = result
+        schema = result.matrix.schema
+        if sa_names is None:
+            if result.details.get("mechanism") == "Basic":
+                sa_names = tuple(schema.names)
+            elif "sa" in result.details:
+                sa_names = tuple(result.details["sa"])
+            else:
+                raise QueryError(
+                    "cannot infer the mechanism configuration from the result; "
+                    "pass sa_names explicitly"
+                )
+        self._transform = HNTransform(schema, sa_names)
+        self._oracle = RangeSumOracle(result.matrix)
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self._result.matrix.schema
+
+    def answer(self, query: RangeCountQuery) -> float:
+        """Point answer from the published matrix."""
+        return self._oracle.answer(query)
+
+    def noise_variance(self, query: RangeCountQuery) -> float:
+        """Exact noise variance of this query's answer (data-free)."""
+        return query_noise_variance(
+            self._transform, query, self._result.noise_magnitude
+        )
+
+    def answer_with_interval(
+        self, query: RangeCountQuery, confidence: float = 0.95
+    ) -> QueryAnswer:
+        """Point answer plus a two-sided confidence interval.
+
+        The interval uses the Gaussian approximation to the sum of
+        independent Laplace noises, widened to the exact Laplace quantile
+        when it is larger (so intervals stay valid even for answers
+        dominated by a single coefficient).
+        """
+        confidence = ensure_in_range(confidence, "confidence", 0.0, 1.0)
+        if not 0.0 < confidence < 1.0:
+            raise QueryError(f"confidence must be in (0, 1), got {confidence}")
+        estimate = self.answer(query)
+        variance = self.noise_variance(query)
+        std = math.sqrt(variance)
+        tail = (1.0 - confidence) / 2.0
+        gaussian_half_width = -_gaussian_quantile(tail) * std
+        # Exact Laplace quantile for a *single* Laplace with the same
+        # variance: scale = std / sqrt(2); P(|X| > w) = exp(-w/scale).
+        laplace_half_width = -(std / math.sqrt(2.0)) * math.log(2.0 * tail)
+        half_width = max(gaussian_half_width, laplace_half_width)
+        return QueryAnswer(
+            estimate=float(estimate),
+            noise_std=std,
+            lower=float(estimate - half_width),
+            upper=float(estimate + half_width),
+            confidence=confidence,
+        )
+
+    def answer_all(self, queries) -> np.ndarray:
+        """Bulk point answers."""
+        return self._oracle.answer_all(queries)
+
+    def marginal_with_std(self, attribute_names) -> tuple[np.ndarray, np.ndarray]:
+        """A DP marginal table plus the exact noise std of every cell.
+
+        Returns ``(values, stds)`` with one axis per requested attribute
+        (schema order of the request).  Each marginal cell is a
+        range-count query (a point on the kept axes, the full range on
+        the summed-out axes), so its exact noise variance factorizes per
+        axis — the whole std table costs one per-axis profile pass.
+        """
+        from repro.analysis.exact import axis_variance_profile
+
+        schema = self.schema
+        names = list(attribute_names)
+        keep_axes = schema.axes_of(names)
+        if len(set(keep_axes)) != len(keep_axes):
+            raise QueryError(f"duplicate attribute names: {names}")
+
+        values = self._result.matrix.marginal(names)
+        factor = 2.0 * self._result.noise_magnitude**2
+        per_axis = []
+        for axis, transform in enumerate(self._transform.transforms):
+            if axis in keep_axes:
+                profile = np.asarray(
+                    [
+                        axis_variance_profile(transform, i, i + 1)
+                        for i in range(transform.input_length)
+                    ]
+                )
+                per_axis.append(profile)
+            else:
+                factor *= axis_variance_profile(transform, 0, transform.input_length)
+        # Outer product of the kept axes' profiles, ordered as requested.
+        variance = np.ones((1,) * len(names))
+        ordered = [per_axis[sorted(keep_axes).index(axis)] for axis in keep_axes]
+        for position, profile in enumerate(ordered):
+            shape = [1] * len(names)
+            shape[position] = len(profile)
+            variance = variance * profile.reshape(shape)
+        return values, np.sqrt(factor * variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(epsilon={self._result.epsilon}, "
+            f"shape={self._result.matrix.shape})"
+        )

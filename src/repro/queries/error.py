@@ -1,0 +1,53 @@
+"""Query-error metrics of the paper's evaluation (§VII-A).
+
+For an approximate answer ``x`` with exact answer ``act``:
+
+* **square error** — ``(x - act)^2`` (Figures 6–7);
+* **relative error** — ``|x - act| / max(act, s)`` where the *sanity
+  bound* ``s`` damps queries with tiny exact answers (Figures 8–9).  The
+  paper sets ``s`` to 0.1% of the number of tuples, following [12], [13].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.utils.validation import ensure_positive
+
+__all__ = ["square_error", "relative_error", "sanity_bound", "DEFAULT_SANITY_FRACTION"]
+
+#: The paper's sanity-bound fraction: s = 0.1% of the tuple count.
+DEFAULT_SANITY_FRACTION = 0.001
+
+
+def square_error(approximate, exact) -> np.ndarray:
+    """Element-wise ``(x - act)^2``."""
+    approximate = np.asarray(approximate, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if approximate.shape != exact.shape:
+        raise QueryError(
+            f"shape mismatch: {approximate.shape} vs {exact.shape}"
+        )
+    difference = approximate - exact
+    return difference * difference
+
+
+def sanity_bound(num_tuples: int, fraction: float = DEFAULT_SANITY_FRACTION) -> float:
+    """``s = fraction * n``; the §VII-A default is 0.1% of the tuples."""
+    fraction = ensure_positive(fraction, "fraction")
+    if num_tuples < 0:
+        raise QueryError(f"num_tuples must be >= 0, got {num_tuples}")
+    return float(num_tuples) * fraction
+
+
+def relative_error(approximate, exact, sanity: float) -> np.ndarray:
+    """Element-wise ``|x - act| / max(act, s)``."""
+    sanity = ensure_positive(sanity, "sanity")
+    approximate = np.asarray(approximate, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if approximate.shape != exact.shape:
+        raise QueryError(
+            f"shape mismatch: {approximate.shape} vs {exact.shape}"
+        )
+    return np.abs(approximate - exact) / np.maximum(exact, sanity)

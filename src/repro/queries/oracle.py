@@ -1,0 +1,95 @@
+"""Fast bulk range-sum evaluation via d-dimensional prefix sums.
+
+The paper's workloads have 40 000 queries per dataset (§VII-A); summing a
+box per query would cost ``O(m)`` each.  A summed-area table (prefix-sum
+array) answers any axis-aligned box in ``O(2^d)`` lookups by
+inclusion-exclusion, after one ``O(m)`` build.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.data.frequency import FrequencyMatrix
+from repro.errors import QueryError
+from repro.queries.query import RangeCountQuery
+
+__all__ = ["RangeSumOracle"]
+
+
+class RangeSumOracle:
+    """Answer axis-aligned box sums over one matrix in ``O(2^d)`` each."""
+
+    def __init__(self, matrix: FrequencyMatrix):
+        self._schema = matrix.schema
+        self._shape = matrix.shape
+        # Prefix array with a zero border on every axis: P[i1..id] = sum of
+        # values[:i1, ..., :id].  Built axis by axis.
+        prefix = matrix.values
+        for axis in range(prefix.ndim):
+            prefix = np.cumsum(prefix, axis=axis)
+        pad = [(1, 0)] * prefix.ndim
+        self._prefix = np.pad(prefix, pad)
+        # Inclusion-exclusion corner pattern: for each of the 2^d corners,
+        # the sign is (-1)^(number of "lo" picks).
+        d = prefix.ndim
+        self._corners = list(itertools.product((0, 1), repeat=d))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    def box_sum(self, box) -> float:
+        """Sum of the half-open box ``[(lo, hi), ...]`` via the prefix array."""
+        if len(box) != len(self._shape):
+            raise QueryError(f"box must have {len(self._shape)} ranges, got {len(box)}")
+        for (lo, hi), size in zip(box, self._shape):
+            if not (0 <= lo <= hi <= size):
+                raise QueryError(f"range [{lo}, {hi}) out of bounds for axis size {size}")
+        total = 0.0
+        for corner in self._corners:
+            index = tuple(
+                (hi if pick else lo) for pick, (lo, hi) in zip(corner, box)
+            )
+            sign = -1.0 if (len(corner) - sum(corner)) % 2 else 1.0
+            total += sign * float(self._prefix[index])
+        return total
+
+    def answer(self, query: RangeCountQuery) -> float:
+        """Answer one range-count query."""
+        if query.schema.shape != self._shape:
+            raise QueryError("query schema does not match oracle matrix shape")
+        return self.box_sum(query.box())
+
+    def answer_all(self, queries) -> np.ndarray:
+        """Answer a sequence of queries; returns a float array.
+
+        Vectorized: one gather of ``len(queries)`` prefix entries per
+        corner pattern (``2^d`` gathers total), so the 40 000-query paper
+        workloads evaluate in milliseconds.
+        """
+        queries = list(queries)
+        if not queries:
+            return np.zeros(0, dtype=np.float64)
+        d = len(self._shape)
+        lows = np.empty((len(queries), d), dtype=np.int64)
+        highs = np.empty((len(queries), d), dtype=np.int64)
+        for row, query in enumerate(queries):
+            if query.schema.shape != self._shape:
+                raise QueryError("query schema does not match oracle matrix shape")
+            for axis, (lo, hi) in enumerate(query.box()):
+                lows[row, axis] = lo
+                highs[row, axis] = hi
+        flat = self._prefix.reshape(-1)
+        strides = np.asarray(
+            [int(np.prod(self._prefix.shape[axis + 1 :])) for axis in range(d)],
+            dtype=np.int64,
+        )
+        totals = np.zeros(len(queries), dtype=np.float64)
+        for corner in self._corners:
+            picks = np.where(np.asarray(corner, dtype=bool), highs, lows)
+            sign = -1.0 if (d - sum(corner)) % 2 else 1.0
+            totals += sign * flat[picks @ strides]
+        return totals

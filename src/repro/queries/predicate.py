@@ -1,0 +1,113 @@
+"""Per-attribute predicates of range-count queries (paper §II-A).
+
+A range-count query has the SQL shape::
+
+    SELECT COUNT(*) FROM T
+    WHERE A1 IN S1 AND A2 IN S2 AND ... AND Ad IN Sd
+
+where each ``S_i`` is
+
+* an **interval** on an ordinal attribute's domain, or
+* a **hierarchy node** on a nominal attribute: either one leaf, or all
+  leaves under one internal node (OLAP roll-up/drill-down navigation).
+
+Because nominal domains are coded in DFS leaf order, *every* predicate
+reduces to a half-open index interval ``[lo, hi)`` on its axis — the key
+simplification this library exploits for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.attributes import Attribute, NominalAttribute, OrdinalAttribute
+from repro.errors import QueryError
+
+__all__ = ["Predicate", "interval_predicate", "hierarchy_predicate", "full_range_predicate"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One conjunct ``A in S`` reduced to a half-open interval on its axis."""
+
+    attribute_name: str
+    lo: int
+    hi: int  # half-open
+    #: Presentation detail: the hierarchy node id this interval came from
+    #: (None for ordinal intervals and full ranges).
+    node_id: int | None = None
+
+    def __post_init__(self):
+        if not (0 <= self.lo < self.hi):
+            raise QueryError(
+                f"predicate on {self.attribute_name!r} has empty or negative "
+                f"interval [{self.lo}, {self.hi})"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+    def covers(self, value: int) -> bool:
+        """True if the coded value satisfies this predicate."""
+        return self.lo <= value < self.hi
+
+    def __repr__(self) -> str:
+        origin = f", node={self.node_id}" if self.node_id is not None else ""
+        return f"Predicate({self.attribute_name!r} in [{self.lo}, {self.hi}){origin})"
+
+
+def interval_predicate(attribute: Attribute, lo: int, hi: int) -> Predicate:
+    """``A in [lo, hi]`` on an ordinal attribute (inclusive endpoints).
+
+    Matches the paper's "S_i is an interval defined on the domain of
+    A_i".  ``hi`` is inclusive here because that is how ranges read in
+    the paper; the stored form is half-open.
+    """
+    if not isinstance(attribute, OrdinalAttribute):
+        raise QueryError(
+            f"interval predicates require an ordinal attribute, got "
+            f"{attribute.name!r} ({type(attribute).__name__})"
+        )
+    lo, hi = int(lo), int(hi)
+    if not (0 <= lo <= hi < attribute.size):
+        raise QueryError(
+            f"interval [{lo}, {hi}] out of bounds for {attribute.name!r} "
+            f"with domain size {attribute.size}"
+        )
+    return Predicate(attribute.name, lo, hi + 1)
+
+
+def hierarchy_predicate(attribute: Attribute, node_id: int) -> Predicate:
+    """``A in leaves(node)`` on a nominal attribute.
+
+    ``node_id`` may be any non-root hierarchy node (a leaf selects one
+    value; an internal node selects its whole subtree).  The root is
+    rejected: it is not a valid paper predicate (it selects everything,
+    i.e. no predicate at all) — use :func:`full_range_predicate` or omit
+    the attribute instead.
+    """
+    if not isinstance(attribute, NominalAttribute):
+        raise QueryError(
+            f"hierarchy predicates require a nominal attribute, got "
+            f"{attribute.name!r} ({type(attribute).__name__})"
+        )
+    hierarchy = attribute.hierarchy
+    node_id = int(node_id)
+    if not 0 <= node_id < hierarchy.num_nodes:
+        raise QueryError(
+            f"node id {node_id} out of range [0, {hierarchy.num_nodes}) for "
+            f"{attribute.name!r}"
+        )
+    if node_id == hierarchy.root_id:
+        raise QueryError(
+            f"the hierarchy root of {attribute.name!r} is not a valid "
+            "predicate; omit the attribute instead"
+        )
+    lo, hi = hierarchy.leaf_interval(node_id)
+    return Predicate(attribute.name, lo, hi, node_id=node_id)
+
+
+def full_range_predicate(attribute: Attribute) -> Predicate:
+    """The trivial predicate covering the attribute's whole domain."""
+    return Predicate(attribute.name, 0, attribute.size)

@@ -1,0 +1,93 @@
+"""Range-count queries over a schema (paper §II-A).
+
+A :class:`RangeCountQuery` is a conjunction of per-attribute predicates;
+attributes without a predicate default to their full range.  Evaluation
+reduces to summing an axis-aligned box of the frequency matrix; bulk
+evaluation should go through :class:`repro.queries.oracle.RangeSumOracle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.frequency import FrequencyMatrix
+from repro.data.schema import Schema
+from repro.errors import QueryError, SchemaError
+from repro.queries.predicate import Predicate
+
+__all__ = ["RangeCountQuery"]
+
+
+@dataclass(frozen=True)
+class RangeCountQuery:
+    """An OLAP-style range-count query bound to a schema."""
+
+    schema: Schema
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        seen = set()
+        for predicate in self.predicates:
+            try:
+                index = self.schema.index_of(predicate.attribute_name)
+            except SchemaError as exc:
+                raise QueryError(str(exc)) from exc
+            if index in seen:
+                raise QueryError(
+                    f"duplicate predicate on {predicate.attribute_name!r}"
+                )
+            seen.add(index)
+            size = self.schema[index].size
+            if predicate.hi > size:
+                raise QueryError(
+                    f"predicate interval [{predicate.lo}, {predicate.hi}) "
+                    f"exceeds domain size {size} of {predicate.attribute_name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_predicates(self) -> int:
+        return len(self.predicates)
+
+    def box(self) -> tuple[tuple[int, int], ...]:
+        """Per-dimension half-open ranges (full range when unconstrained)."""
+        ranges = [(0, attr.size) for attr in self.schema]
+        for predicate in self.predicates:
+            ranges[self.schema.index_of(predicate.attribute_name)] = (
+                predicate.lo,
+                predicate.hi,
+            )
+        return tuple(ranges)
+
+    def coverage(self) -> float:
+        """Fraction of frequency-matrix cells inside the query box (§VII-A)."""
+        cells = 1.0
+        for lo, hi in self.box():
+            cells *= hi - lo
+        return cells / float(self.schema.num_cells)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, matrix: FrequencyMatrix) -> float:
+        """Answer the query on a (possibly noisy) frequency matrix."""
+        if matrix.schema.shape != self.schema.shape:
+            raise QueryError("query schema does not match matrix schema")
+        return matrix.range_sum(self.box())
+
+    def evaluate_rows(self, rows: np.ndarray) -> int:
+        """Count matching tuples directly on an ``(n, d)`` row array."""
+        if rows.ndim != 2 or rows.shape[1] != self.schema.dimensions:
+            raise QueryError(
+                f"rows must have shape (n, {self.schema.dimensions}), got {rows.shape}"
+            )
+        mask = np.ones(rows.shape[0], dtype=bool)
+        for axis, (lo, hi) in enumerate(self.box()):
+            if (lo, hi) != (0, self.schema[axis].size):
+                column = rows[:, axis]
+                mask &= (column >= lo) & (column < hi)
+        return int(mask.sum())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(repr(p) for p in self.predicates) or "<all>"
+        return f"RangeCountQuery({parts})"

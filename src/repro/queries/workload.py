@@ -1,0 +1,129 @@
+"""Random range-count workloads — the §VII-A generation recipe.
+
+For each query:
+
+1. draw the number of predicates uniformly from ``[1, min(max_predicates,
+   d)]`` (the paper uses [1, 4] on the 4-attribute census data);
+2. choose that many *distinct* attributes uniformly;
+3. on an ordinal attribute, draw a uniformly random interval;
+4. on a nominal attribute, draw a uniformly random **non-root** node of
+   its hierarchy and select all leaves in its subtree.
+
+The module also computes the two per-query difficulty measures the
+paper buckets by — **selectivity** (fraction of tuples matched) and
+**coverage** (fraction of matrix cells inside the box) — and splits a
+workload into quintile buckets of either measure, matching the paper's
+"(i-1)-th and i-th quintiles" construction for Figures 6–9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.schema import Schema
+from repro.errors import QueryError
+from repro.queries.oracle import RangeSumOracle
+from repro.queries.predicate import hierarchy_predicate, interval_predicate
+from repro.queries.query import RangeCountQuery
+from repro.utils.rng import as_generator
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["Workload", "generate_workload", "quintile_buckets"]
+
+
+def _random_predicate(attribute, rng):
+    if isinstance(attribute, OrdinalAttribute):
+        lo, hi = sorted(rng.integers(0, attribute.size, size=2).tolist())
+        return interval_predicate(attribute, lo, hi)
+    if isinstance(attribute, NominalAttribute):
+        hierarchy = attribute.hierarchy
+        if hierarchy.num_nodes < 2:
+            raise QueryError(
+                f"{attribute.name!r} has no non-root hierarchy nodes to query"
+            )
+        node_id = int(rng.integers(1, hierarchy.num_nodes))
+        return hierarchy_predicate(attribute, node_id)
+    raise QueryError(f"unsupported attribute type: {type(attribute).__name__}")
+
+
+def generate_workload(
+    schema: Schema,
+    num_queries: int,
+    *,
+    max_predicates: int | None = None,
+    seed=None,
+) -> list[RangeCountQuery]:
+    """Generate the §VII-A random workload over ``schema``."""
+    num_queries = ensure_positive_int(num_queries, "num_queries")
+    d = schema.dimensions
+    cap = d if max_predicates is None else min(int(max_predicates), d)
+    if cap < 1:
+        raise QueryError(f"max_predicates must be >= 1, got {max_predicates}")
+    rng = as_generator(seed)
+
+    queries = []
+    for _ in range(num_queries):
+        count = int(rng.integers(1, cap + 1))
+        attribute_indexes = rng.choice(d, size=count, replace=False)
+        predicates = tuple(
+            _random_predicate(schema[int(i)], rng) for i in attribute_indexes
+        )
+        queries.append(RangeCountQuery(schema, predicates))
+    return queries
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A set of queries with precomputed exact answers and measures."""
+
+    queries: tuple[RangeCountQuery, ...]
+    #: Exact answers on the non-noisy frequency matrix.
+    exact_answers: np.ndarray
+    #: Fraction of tuples matched by each query.
+    selectivities: np.ndarray
+    #: Fraction of matrix cells covered by each query.
+    coverages: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @classmethod
+    def evaluate(
+        cls,
+        queries,
+        matrix: FrequencyMatrix,
+        *,
+        oracle: RangeSumOracle | None = None,
+    ) -> "Workload":
+        """Bind queries to a dataset: exact answers + difficulty measures.
+
+        ``matrix`` must be the *exact* frequency matrix; selectivity is
+        exact answer / total tuple count (0 when the table is empty).
+        """
+        queries = tuple(queries)
+        oracle = oracle or RangeSumOracle(matrix)
+        exact = oracle.answer_all(queries)
+        total = matrix.total
+        selectivities = exact / total if total > 0 else np.zeros_like(exact)
+        coverages = np.asarray([q.coverage() for q in queries], dtype=np.float64)
+        return cls(queries, exact, selectivities, coverages)
+
+
+def quintile_buckets(values: np.ndarray, num_buckets: int = 5) -> list[np.ndarray]:
+    """Index buckets split at the quantiles of ``values`` (paper's quintiles).
+
+    Bucket ``i`` holds the indexes of queries whose value falls between
+    the ``(i-1)``-th and ``i``-th ``1/num_buckets`` quantiles.  Ties at a
+    boundary go to the lower bucket; every index lands in exactly one
+    bucket.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise QueryError("values must be a non-empty 1-D array")
+    num_buckets = ensure_positive_int(num_buckets, "num_buckets")
+    order = np.argsort(values, kind="stable")
+    return [np.sort(chunk) for chunk in np.array_split(order, num_buckets)]

@@ -1,0 +1,26 @@
+"""Wavelet transforms: 1-D Haar, 1-D nominal, multi-dimensional HN."""
+
+from repro.transforms.base import IdentityTransform, OneDimensionalTransform
+from repro.transforms.haar import HaarTransform, haar_forward, haar_inverse, haar_weight_vector
+from repro.transforms.multidim import (
+    HNTransform,
+    apply_along_axis,
+    transform_for_attribute,
+    weight_tensor,
+)
+from repro.transforms.nominal import NominalTransform, mean_subtract
+
+__all__ = [
+    "OneDimensionalTransform",
+    "IdentityTransform",
+    "HaarTransform",
+    "haar_forward",
+    "haar_inverse",
+    "haar_weight_vector",
+    "NominalTransform",
+    "mean_subtract",
+    "HNTransform",
+    "apply_along_axis",
+    "transform_for_attribute",
+    "weight_tensor",
+]

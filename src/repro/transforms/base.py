@@ -1,0 +1,116 @@
+"""Common interface for the one-dimensional transforms Privelet composes.
+
+The multi-dimensional Haar-Nominal (HN) transform of paper §VI applies a
+one-dimensional transform along each axis of the frequency matrix in
+turn.  Each 1-D transform must provide, beyond forward/inverse:
+
+* a **weight vector** aligned with its coefficient layout — the weight
+  function ``W`` of §III-B, which scales per-coefficient Laplace noise
+  (magnitude ``lambda / W(c)``);
+* its **generalized sensitivity** with respect to those weights (the
+  ``P(A)`` factor of Theorem 2);
+* its **variance factor** — the per-dimension factor ``H(A)`` of the
+  range-count noise-variance bound (Theorem 3).
+
+All transforms operate along axis 0 of an ndarray and vectorize over any
+trailing axes, which is what lets the HN transform process every row/
+column/fiber of the matrix in one numpy call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OneDimensionalTransform", "IdentityTransform"]
+
+
+class OneDimensionalTransform:
+    """Abstract 1-D invertible linear transform with weighted noise."""
+
+    #: Expected length of axis 0 on input.
+    input_length: int
+    #: Length of axis 0 of the coefficient output (may exceed
+    #: ``input_length`` for over-complete transforms, §V-A).
+    output_length: int
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        """Transform ``values`` (shape ``(input_length, ...)``) to coefficients."""
+        raise NotImplementedError
+
+    def inverse(self, coefficients: np.ndarray, *, refine: bool = False) -> np.ndarray:
+        """Map coefficients back to data space.
+
+        ``refine=True`` applies the transform's refinement step (§III-A
+        step 3) — currently only the nominal transform has one (mean
+        subtraction).  Refinement must depend only on the coefficients,
+        never on the original data, to preserve the privacy argument.
+        """
+        raise NotImplementedError
+
+    def weight_vector(self) -> np.ndarray:
+        """Per-coefficient weights ``W(c)``, shape ``(output_length,)``."""
+        raise NotImplementedError
+
+    def sensitivity_factor(self) -> float:
+        """Generalized sensitivity of this transform w.r.t. its weights."""
+        raise NotImplementedError
+
+    def variance_factor(self) -> float:
+        """Factor this dimension contributes to the variance bound."""
+        raise NotImplementedError
+
+    def _check_forward_input(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim < 1 or values.shape[0] != self.input_length:
+            raise _transform_error(
+                f"{type(self).__name__}: expected axis 0 of length "
+                f"{self.input_length}, got shape {values.shape}"
+            )
+        return values
+
+    def _check_inverse_input(self, coefficients: np.ndarray) -> np.ndarray:
+        coefficients = np.asarray(coefficients, dtype=np.float64)
+        if coefficients.ndim < 1 or coefficients.shape[0] != self.output_length:
+            raise _transform_error(
+                f"{type(self).__name__}: expected axis 0 of length "
+                f"{self.output_length}, got shape {coefficients.shape}"
+            )
+        return coefficients
+
+
+class IdentityTransform(OneDimensionalTransform):
+    """The no-op transform used on Privelet+'s ``SA`` dimensions (§VI-D).
+
+    Releasing a dimension untransformed with unit weights is exactly
+    Dwork et al.'s treatment of that dimension: its generalized
+    sensitivity factor is 1 and a range can cover all ``|A|`` cells, so
+    its variance factor is ``|A|``.  Basic is the special case where
+    *every* dimension uses this transform.
+    """
+
+    def __init__(self, length: int):
+        if length < 1:
+            raise _transform_error(f"length must be >= 1, got {length}")
+        self.input_length = int(length)
+        self.output_length = int(length)
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        return self._check_forward_input(values).copy()
+
+    def inverse(self, coefficients: np.ndarray, *, refine: bool = False) -> np.ndarray:
+        return self._check_inverse_input(coefficients).copy()
+
+    def weight_vector(self) -> np.ndarray:
+        return np.ones(self.output_length, dtype=np.float64)
+
+    def sensitivity_factor(self) -> float:
+        return 1.0
+
+    def variance_factor(self) -> float:
+        return float(self.input_length)
+
+
+def _transform_error(message: str):
+    from repro.errors import TransformError
+
+    return TransformError(message)

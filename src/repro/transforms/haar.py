@@ -1,0 +1,146 @@
+"""One-dimensional Haar wavelet transform (paper §IV).
+
+The HWT builds a full binary *decomposition tree* over ``2**l`` values:
+each internal node's coefficient is half the difference of its subtree
+averages, plus one *base coefficient* equal to the overall mean
+(Figure 2).  Any value is recovered from the base coefficient and its
+``l`` ancestors (Equation 3), which is why a range-count answer touches
+only ``O(log m)`` noisy coefficients.
+
+Layout
+------
+Coefficients are stored in level order with the base coefficient first::
+
+    [c0 (base), c1 (root, level 1), level-2 nodes left-to-right, ...]
+
+This is the ordering §VI-A prescribes for the multi-dimensional
+transform ("sorted based on a level-order traversal ... the base
+coefficient always ranks first").  With ``2**l`` inputs there are
+``2**l - 1`` internal nodes, so the output also has length ``2**l``.
+
+Weights (§IV-B)::
+
+    W_Haar(c0)          = m          (the padded length 2**l)
+    W_Haar(c at level i) = 2**(l-i+1)
+
+Inputs whose length is not a power of two are zero-padded on the right
+(the paper's "dummy values"); :meth:`HaarTransform.inverse` truncates the
+padding away again.
+
+Implementation: an ``O(m)`` iterative pairwise average/difference scheme
+operating along axis 0, vectorized over trailing axes.  A slow, explicitly
+tree-based implementation lives in :mod:`repro.transforms.tree` and is
+used by the test suite as an oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TransformError
+from repro.transforms.base import OneDimensionalTransform
+from repro.utils.validation import ensure_positive_int, next_power_of_two
+
+__all__ = ["HaarTransform", "haar_forward", "haar_inverse", "haar_weight_vector"]
+
+
+def haar_forward(values: np.ndarray) -> np.ndarray:
+    """Haar-transform axis 0 (length must be a power of two).
+
+    Returns coefficients in level order, base coefficient first.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    length = values.shape[0]
+    if length & (length - 1):
+        raise TransformError(f"haar_forward needs a power-of-two length, got {length}")
+    current = values
+    levels = []  # details from the lowest tree level up to the root
+    while current.shape[0] > 1:
+        even = current[0::2]
+        odd = current[1::2]
+        levels.append((even - odd) / 2.0)
+        current = (even + odd) / 2.0
+    # current[0] is the base coefficient (overall mean).
+    return np.concatenate([current] + levels[::-1], axis=0)
+
+
+def haar_inverse(coefficients: np.ndarray) -> np.ndarray:
+    """Invert :func:`haar_forward` (length must be a power of two)."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    length = coefficients.shape[0]
+    if length & (length - 1):
+        raise TransformError(f"haar_inverse needs a power-of-two length, got {length}")
+    current = coefficients[0:1]
+    offset = 1
+    while offset < length:
+        detail = coefficients[offset : offset + current.shape[0]]
+        even = current + detail
+        odd = current - detail
+        rebuilt = np.empty((2 * current.shape[0],) + current.shape[1:], dtype=np.float64)
+        rebuilt[0::2] = even
+        rebuilt[1::2] = odd
+        offset += current.shape[0]
+        current = rebuilt
+    return current
+
+
+def haar_weight_vector(padded_length: int) -> np.ndarray:
+    """``W_Haar`` aligned with the level-order coefficient layout.
+
+    ``weights[0] = m`` for the base coefficient; a level-``i`` coefficient
+    gets ``2**(l-i+1)``.  For ``m = 8``: ``[8, 8, 4, 4, 2, 2, 2, 2]``.
+    """
+    padded_length = ensure_positive_int(padded_length, "padded_length")
+    if padded_length & (padded_length - 1):
+        raise TransformError(f"padded_length must be a power of two, got {padded_length}")
+    l = padded_length.bit_length() - 1
+    weights = np.empty(padded_length, dtype=np.float64)
+    weights[0] = float(padded_length)
+    position = 1
+    for level in range(1, l + 1):
+        count = 1 << (level - 1)
+        weights[position : position + count] = float(1 << (l - level + 1))
+        position += count
+    return weights
+
+
+class HaarTransform(OneDimensionalTransform):
+    """HWT over an ordinal domain of any size, with power-of-two padding."""
+
+    def __init__(self, domain_size: int):
+        self.input_length = ensure_positive_int(domain_size, "domain_size")
+        self.padded_length = next_power_of_two(self.input_length)
+        self.output_length = self.padded_length
+        self._levels = self.padded_length.bit_length() - 1  # l
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        values = self._check_forward_input(values)
+        if self.padded_length != self.input_length:
+            pad = [(0, self.padded_length - self.input_length)]
+            pad += [(0, 0)] * (values.ndim - 1)
+            values = np.pad(values, pad)
+        return haar_forward(values)
+
+    def inverse(self, coefficients: np.ndarray, *, refine: bool = False) -> np.ndarray:
+        # The Haar instantiation has no refinement step; ``refine`` is
+        # accepted for interface uniformity and ignored.
+        coefficients = self._check_inverse_input(coefficients)
+        values = haar_inverse(coefficients)
+        return values[: self.input_length]
+
+    def weight_vector(self) -> np.ndarray:
+        return haar_weight_vector(self.padded_length)
+
+    def sensitivity_factor(self) -> float:
+        """Lemma 2: generalized sensitivity ``1 + log2 m`` w.r.t. ``W_Haar``."""
+        return 1.0 + float(self._levels)
+
+    def variance_factor(self) -> float:
+        """Lemma 3 / §VI-C: ``H(A) = (2 + log2 m) / 2``."""
+        return (2.0 + float(self._levels)) / 2.0
+
+    def __repr__(self) -> str:
+        return (
+            f"HaarTransform(domain={self.input_length}, "
+            f"padded={self.padded_length})"
+        )

@@ -1,0 +1,149 @@
+"""The nominal wavelet transform (paper §V).
+
+Given a one-dimensional frequency vector over a nominal domain and the
+domain's hierarchy ``H``, the transform builds a decomposition tree ``R``
+by attaching one value node under each leaf of ``H`` and emits **one
+coefficient per node of H** (Figure 3):
+
+* the **base coefficient** (root) is the *leaf-sum* of the whole vector;
+* every other node's coefficient is its leaf-sum minus the **average
+  leaf-sum of its parent's children**.
+
+The transform is *over-complete*: it emits ``hierarchy.num_nodes``
+coefficients for ``hierarchy.num_leaves`` inputs; the surplus equals the
+number of internal nodes, which is small for practical hierarchies.
+
+Reconstruction (Equation 5) recovers each entry from its ancestors'
+coefficients by accumulating estimated leaf-sums down the tree::
+
+    leafsum(root)  = c0
+    leafsum(N)     = c(N) + leafsum(parent(N)) / fanout(parent(N))
+    value(leaf L)  = leafsum(L)
+
+Weights (§V-B)::
+
+    W_Nom(base) = 1
+    W_Nom(c)    = f / (2f - 2)     f = fanout of c's parent in R
+
+Refinement — **mean subtraction** (§V-B): within every sibling group of
+noisy coefficients, subtract the group mean.  True coefficients in a
+sibling group sum to zero by construction, so this re-centres the noise
+without consulting the data, and it is what drives the Lemma 5 variance
+bound of ``< 4 sigma^2`` per query.
+
+Coefficients are stored in the hierarchy's level order (root first;
+children of one parent contiguous), satisfying the §VI-A layout rule and
+making sibling groups plain slices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.hierarchy import Hierarchy
+from repro.errors import TransformError
+from repro.transforms.base import OneDimensionalTransform
+
+__all__ = ["NominalTransform", "mean_subtract"]
+
+
+def mean_subtract(coefficients: np.ndarray, groups: list[slice]) -> np.ndarray:
+    """Subtract the per-sibling-group mean from ``coefficients`` (copy).
+
+    Operates along axis 0; the base coefficient (never inside a group) is
+    untouched.  This uses only the (noisy) coefficients, never the data —
+    the property §III-A requires of a refinement step.
+    """
+    out = np.array(coefficients, dtype=np.float64, copy=True)
+    for group in groups:
+        out[group] -= out[group].mean(axis=0, keepdims=True)
+    return out
+
+
+class NominalTransform(OneDimensionalTransform):
+    """Nominal wavelet transform bound to one hierarchy."""
+
+    def __init__(self, hierarchy: Hierarchy):
+        if not isinstance(hierarchy, Hierarchy):
+            raise TransformError("hierarchy must be a Hierarchy instance")
+        self.hierarchy = hierarchy
+        self.input_length = hierarchy.num_leaves
+        self.output_length = hierarchy.num_nodes
+        self._groups = hierarchy.sibling_groups()
+
+        # Precomputed flat arrays (level order).
+        self._parent = hierarchy.parent_array
+        self._fanout = hierarchy.fanout_array
+        self._leaf_start = hierarchy.leaf_start_array
+        self._leaf_end = hierarchy.leaf_end_array
+        self._levels = [hierarchy.level_slice(lvl) for lvl in range(1, hierarchy.height + 1)]
+        # Node ids of the hierarchy's leaves, ordered by DFS leaf index.
+        self._leaf_node_ids = np.asarray(
+            [hierarchy.node_id_of_leaf(i) for i in range(hierarchy.num_leaves)],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    def leaf_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-node leaf-sums of ``values`` (axis 0 = leaf index)."""
+        values = self._check_forward_input(values)
+        prefix = np.concatenate(
+            [np.zeros((1,) + values.shape[1:], dtype=np.float64), np.cumsum(values, axis=0)],
+            axis=0,
+        )
+        return prefix[self._leaf_end] - prefix[self._leaf_start]
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        sums = self.leaf_sums(values)
+        coefficients = np.empty_like(sums)
+        coefficients[0] = sums[0]  # base coefficient: total leaf-sum
+        if self.output_length > 1:
+            parents = self._parent[1:]
+            # average leaf-sum of the parent's children = parent's
+            # leaf-sum / parent's fanout
+            coefficients[1:] = sums[1:] - sums[parents] / self._fanout[parents].reshape(
+                (-1,) + (1,) * (sums.ndim - 1)
+            )
+        return coefficients
+
+    def inverse(self, coefficients: np.ndarray, *, refine: bool = False) -> np.ndarray:
+        """Equation 5 reconstruction; ``refine=True`` mean-subtracts first."""
+        coefficients = self._check_inverse_input(coefficients)
+        if refine:
+            coefficients = mean_subtract(coefficients, self._groups)
+        leafsum = np.empty_like(coefficients)
+        leafsum[0] = coefficients[0]
+        for level_slice in self._levels[1:]:
+            ids = np.arange(level_slice.start, level_slice.stop)
+            parents = self._parent[ids]
+            leafsum[ids] = coefficients[ids] + leafsum[parents] / self._fanout[
+                parents
+            ].reshape((-1,) + (1,) * (coefficients.ndim - 1))
+        return leafsum[self._leaf_node_ids]
+
+    def refine(self, coefficients: np.ndarray) -> np.ndarray:
+        """The §V-B mean-subtraction step, exposed for tests and ablations."""
+        return mean_subtract(self._check_inverse_input(coefficients), self._groups)
+
+    # ------------------------------------------------------------------
+    def weight_vector(self) -> np.ndarray:
+        weights = np.ones(self.output_length, dtype=np.float64)
+        if self.output_length > 1:
+            parents = self._parent[1:]
+            fanouts = self._fanout[parents].astype(np.float64)
+            weights[1:] = fanouts / (2.0 * fanouts - 2.0)
+        return weights
+
+    def sensitivity_factor(self) -> float:
+        """Lemma 4: generalized sensitivity ``h`` w.r.t. ``W_Nom``."""
+        return float(self.hierarchy.height)
+
+    def variance_factor(self) -> float:
+        """Lemma 5 / §VI-C: ``H(A) = 4``."""
+        return 4.0
+
+    def __repr__(self) -> str:
+        return (
+            f"NominalTransform(leaves={self.input_length}, "
+            f"nodes={self.output_length}, height={self.hierarchy.height})"
+        )

@@ -1,0 +1,121 @@
+"""Slow, explicitly tree-based reference transforms (test oracles).
+
+These implementations follow the paper's prose construction literally —
+building the decomposition tree, computing subtree averages, and walking
+ancestor paths (Equations 3 and 5) — with no vectorization tricks.  The
+test suite checks the fast implementations in
+:mod:`repro.transforms.haar` and :mod:`repro.transforms.nominal` against
+these on random inputs; nothing else should import this module for
+production use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.hierarchy import Hierarchy
+from repro.errors import TransformError
+
+__all__ = [
+    "haar_forward_reference",
+    "haar_reconstruct_entry",
+    "nominal_forward_reference",
+    "nominal_reconstruct_entry",
+]
+
+
+def haar_forward_reference(values) -> np.ndarray:
+    """§IV-A construction: coefficient = (avg(left) - avg(right)) / 2.
+
+    Returns level-order coefficients with the base coefficient first,
+    matching :func:`repro.transforms.haar.haar_forward`.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise TransformError("reference transform handles 1-D input only")
+    length = len(values)
+    if length & (length - 1):
+        raise TransformError(f"length must be a power of two, got {length}")
+
+    coefficients = [values.mean()]  # base coefficient
+    # Internal nodes in level order; node at level i covers a block of
+    # 2**(l-i+1) leaves.
+    l = length.bit_length() - 1
+    for level in range(1, l + 1):
+        block = 1 << (l - level + 1)  # leaves under a level-`level` node
+        half = block // 2
+        for start in range(0, length, block):
+            left = values[start : start + half].mean()
+            right = values[start + half : start + block].mean()
+            coefficients.append((left - right) / 2.0)
+    return np.asarray(coefficients)
+
+
+def haar_reconstruct_entry(coefficients, index: int) -> float:
+    """Equation 3: ``v = c0 + sum_i g_i * c_i`` over the ancestors of ``v``.
+
+    ``coefficients`` is the level-order layout; ``index`` is the leaf
+    position.  ``g_i`` is +1 when the leaf lies in the ancestor's left
+    subtree, -1 otherwise.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    length = len(coefficients)
+    if length & (length - 1):
+        raise TransformError(f"length must be a power of two, got {length}")
+    if not 0 <= index < length:
+        raise TransformError(f"index {index} out of range [0, {length})")
+    l = length.bit_length() - 1
+    value = coefficients[0]
+    for level in range(1, l + 1):
+        block = 1 << (l - level + 1)
+        node_in_level = index // block
+        # Level-order position: levels 1..level-1 hold 2**(level-1) - 1
+        # internal nodes; +1 skips the base coefficient.
+        position = 1 + ((1 << (level - 1)) - 1) + node_in_level
+        sign = 1.0 if (index % block) < block // 2 else -1.0
+        value += sign * coefficients[position]
+    return float(value)
+
+
+def nominal_forward_reference(values, hierarchy: Hierarchy) -> np.ndarray:
+    """§V-A construction via per-node leaf-sum scans (no cumsum tricks)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or len(values) != hierarchy.num_leaves:
+        raise TransformError("values must be 1-D with one entry per hierarchy leaf")
+
+    def leaf_sum(node_id: int) -> float:
+        start, end = hierarchy.leaf_interval(node_id)
+        return float(values[start:end].sum())
+
+    coefficients = np.empty(hierarchy.num_nodes, dtype=np.float64)
+    coefficients[0] = leaf_sum(0)
+    for node_id in range(1, hierarchy.num_nodes):
+        parent = hierarchy.parent(node_id)
+        siblings = hierarchy.children(parent)
+        average = sum(leaf_sum(s) for s in siblings) / len(siblings)
+        coefficients[node_id] = leaf_sum(node_id) - average
+    return coefficients
+
+
+def nominal_reconstruct_entry(coefficients, hierarchy: Hierarchy, leaf_index: int) -> float:
+    """Equation 5: walk the ancestor path of one leaf.
+
+    ``v = c_{h-1} + sum_{i=0}^{h-2} c_i * prod_{j=i}^{h-2} 1/f_j`` where
+    ``c_i`` is the ancestor at level ``i+1`` and ``f_i`` its fanout.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if len(coefficients) != hierarchy.num_nodes:
+        raise TransformError("coefficient count must equal hierarchy.num_nodes")
+    node_id = hierarchy.node_id_of_leaf(leaf_index)
+    # Ancestor path from the leaf's hierarchy node up to the root.
+    path = [node_id]
+    while hierarchy.parent(path[-1]) != -1:
+        path.append(hierarchy.parent(path[-1]))
+    path.reverse()  # root ... leaf-node
+
+    value = float(coefficients[path[-1]])
+    fanout_product = 1.0
+    for ancestor in reversed(path[:-1]):
+        fanout_product *= hierarchy.fanout(ancestor)
+        value += float(coefficients[ancestor]) / fanout_product
+    return value

@@ -1,0 +1,20 @@
+"""Shared utilities: random-number handling and argument validation."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_positive,
+    ensure_positive_int,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_positive_int",
+    "is_power_of_two",
+    "next_power_of_two",
+]

@@ -1,0 +1,56 @@
+"""Small argument-validation helpers used across the library.
+
+These helpers exist so error messages are consistent and so validation
+logic (e.g. power-of-two padding used by the Haar transform) lives in one
+place.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+
+def ensure_positive(value, name: str) -> float:
+    """Return ``value`` as a float, raising ``ValueError`` unless it is > 0."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def ensure_positive_int(value, name: str) -> int:
+    """Return ``value`` as an int, raising unless it is a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def ensure_in_range(value, name: str, low: float, high: float) -> float:
+    """Return ``value`` as a float, raising unless ``low <= value <= high``."""
+    if not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def is_power_of_two(value: int) -> bool:
+    """True if ``value`` is a positive power of two (1, 2, 4, 8, ...)."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two that is >= ``value`` (>= 1).
+
+    The one-dimensional Haar transform requires input length ``2**l``; the
+    paper pads shorter vectors with dummy (zero) entries, and this helper
+    computes the padded length.
+    """
+    value = ensure_positive_int(value, "value")
+    return 1 << (value - 1).bit_length()

@@ -1,0 +1,205 @@
+"""Tests for exact per-query variance and workload-aware SA selection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import (
+    axis_variance_profile,
+    optimize_sa,
+    query_noise_variance,
+    workload_average_variance,
+)
+from repro.core.laplace import laplace_noise
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.hierarchy import two_level_hierarchy
+from repro.data.schema import Schema
+from repro.errors import QueryError
+from repro.queries.oracle import RangeSumOracle
+from repro.queries.predicate import interval_predicate
+from repro.queries.query import RangeCountQuery
+from repro.queries.workload import generate_workload
+from repro.transforms.multidim import HNTransform, weight_tensor
+
+
+def monte_carlo_variance(hn, box, magnitude, reps=4000, seed=0):
+    """Reference: push Laplace noise through the real pipeline."""
+    magnitudes = magnitude / weight_tensor(hn.weight_vectors())
+    rng = np.random.default_rng(seed)
+    slices = tuple(slice(lo, hi) for lo, hi in box)
+    answers = np.empty(reps)
+    for i in range(reps):
+        noise = laplace_noise(magnitudes, seed=rng)
+        reconstructed = hn.inverse(noise, refine=True)
+        answers[i] = reconstructed[slices].sum()
+    return float(np.var(answers))
+
+
+class TestExactVariance:
+    @pytest.mark.parametrize("sa", [(), ("A",)])
+    def test_matches_monte_carlo_1d(self, sa):
+        schema = Schema([OrdinalAttribute("A", 8)])
+        hn = HNTransform(schema, sa_names=sa)
+        query = RangeCountQuery(schema, (interval_predicate(schema["A"], 2, 6),))
+        magnitude = 3.0
+        exact = query_noise_variance(hn, query, magnitude)
+        simulated = monte_carlo_variance(hn, query.box(), magnitude)
+        assert simulated == pytest.approx(exact, rel=0.1)
+
+    def test_matches_monte_carlo_nominal(self):
+        schema = Schema([NominalAttribute("B", two_level_hierarchy([3, 3]))])
+        hn = HNTransform(schema)
+        # Subtree of the first group: leaves [0, 3).
+        from repro.queries.predicate import hierarchy_predicate
+
+        query = RangeCountQuery(schema, (hierarchy_predicate(schema["B"], 1),))
+        magnitude = 2.0
+        exact = query_noise_variance(hn, query, magnitude)
+        simulated = monte_carlo_variance(hn, query.box(), magnitude)
+        assert simulated == pytest.approx(exact, rel=0.1)
+
+    def test_matches_monte_carlo_2d_mixed(self):
+        schema = Schema(
+            [
+                OrdinalAttribute("A", 4),
+                NominalAttribute("B", two_level_hierarchy([2, 3])),
+            ]
+        )
+        hn = HNTransform(schema)
+        query = RangeCountQuery(schema, (interval_predicate(schema["A"], 1, 2),))
+        magnitude = 1.5
+        exact = query_noise_variance(hn, query, magnitude)
+        simulated = monte_carlo_variance(hn, query.box(), magnitude)
+        assert simulated == pytest.approx(exact, rel=0.1)
+
+    def test_within_theorem3_bound(self, mixed_schema):
+        """Exact variance never exceeds the Theorem 3 / Corollary 1 bound."""
+        hn = HNTransform(mixed_schema, sa_names=("X",))
+        magnitude = 2.0 * hn.generalized_sensitivity() / 1.0
+        bound = 2.0 * magnitude**2 * hn.variance_bound_factor()
+        for query in generate_workload(mixed_schema, 100, seed=5):
+            assert query_noise_variance(hn, query, magnitude) <= bound * (1 + 1e-9)
+
+    def test_identity_axis_variance_is_range_width(self):
+        """On an SA axis, g is the indicator itself and W = 1: the profile
+        is exactly the number of covered cells."""
+        schema = Schema([OrdinalAttribute("A", 10)])
+        hn = HNTransform(schema, sa_names=("A",))
+        assert axis_variance_profile(hn.transforms[0], 2, 9) == pytest.approx(7.0)
+
+    def test_basic_full_query_equals_8m(self):
+        """Basic (all SA) on a full-domain query: Var = m * 2 lambda^2."""
+        schema = Schema([OrdinalAttribute("A", 16)])
+        hn = HNTransform(schema, sa_names=("A",))
+        query = RangeCountQuery(schema)
+        assert query_noise_variance(hn, query, 2.0) == pytest.approx(16 * 8.0)
+
+    def test_bounds_validated(self, mixed_schema):
+        hn = HNTransform(mixed_schema)
+        with pytest.raises(QueryError):
+            axis_variance_profile(hn.transforms[0], 0, 99)
+        with pytest.raises(ValueError):
+            query_noise_variance(hn, RangeCountQuery(mixed_schema), 0.0)
+
+
+class TestWorkloadAverage:
+    def test_average_of_exact_values(self, mixed_schema):
+        queries = generate_workload(mixed_schema, 40, seed=7)
+        hn = HNTransform(mixed_schema, sa_names=())
+        magnitude = 2.0 * hn.generalized_sensitivity() / 1.0
+        expected = np.mean(
+            [query_noise_variance(hn, q, magnitude) for q in queries]
+        )
+        assert workload_average_variance(
+            mixed_schema, (), queries, 1.0
+        ) == pytest.approx(float(expected))
+
+    def test_empty_workload_rejected(self, mixed_schema):
+        with pytest.raises(QueryError):
+            workload_average_variance(mixed_schema, (), [], 1.0)
+
+
+class TestExpectedRelativeError:
+    def test_prediction_matches_measurement(self, mixed_table):
+        """The Gaussian-approximation prediction tracks the measured mean
+        relative error over repeated publishes."""
+        from repro.analysis.exact import expected_relative_errors
+        from repro.core.privelet_plus import PriveletPlusMechanism
+        from repro.queries.error import relative_error
+        from repro.queries.workload import Workload
+
+        schema = mixed_table.schema
+        matrix = mixed_table.frequency_matrix()
+        queries = generate_workload(schema, 40, seed=21)
+        workload = Workload.evaluate(queries, matrix)
+        sanity = max(1.0, 0.05 * mixed_table.num_rows)
+        epsilon = 1.0
+
+        predicted = expected_relative_errors(schema, (), workload, epsilon, sanity)
+
+        mechanism = PriveletPlusMechanism(sa_names=())
+        measured = np.zeros(len(queries))
+        reps = 150
+        for seed in range(reps):
+            result = mechanism.publish_matrix(matrix, epsilon, seed=seed)
+            answers = RangeSumOracle(result.matrix).answer_all(queries)
+            measured += relative_error(answers, workload.exact_answers, sanity)
+        measured /= reps
+
+        # Per-workload mean within 20%; the Gaussian approximation is
+        # loose for single-coefficient-dominated queries.
+        assert measured.mean() == pytest.approx(predicted.mean(), rel=0.2)
+
+    def test_validation(self, mixed_table):
+        from repro.analysis.exact import expected_relative_errors
+        from repro.queries.workload import Workload
+
+        matrix = mixed_table.frequency_matrix()
+        workload = Workload.evaluate(
+            generate_workload(mixed_table.schema, 5, seed=22), matrix
+        )
+        with pytest.raises(ValueError):
+            expected_relative_errors(mixed_table.schema, (), workload, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_relative_errors(mixed_table.schema, (), workload, 1.0, 0.0)
+
+
+class TestOptimizeSa:
+    def test_ranking_covers_all_subsets(self, mixed_schema):
+        queries = generate_workload(mixed_schema, 30, seed=9)
+        choice = optimize_sa(mixed_schema, queries, epsilon=1.0)
+        assert len(choice.ranking) == 2 ** mixed_schema.dimensions
+        assert choice.ranking[0][0] == choice.sa
+        values = [v for _, v in choice.ranking]
+        assert values == sorted(values)
+
+    def test_chosen_sa_beats_rule_on_its_workload(self, mixed_schema):
+        """The workload-aware choice is at least as good (on the workload)
+        as the paper's worst-case rule."""
+        from repro.core.privelet_plus import select_sa
+
+        queries = generate_workload(mixed_schema, 50, seed=11)
+        choice = optimize_sa(mixed_schema, queries, epsilon=1.0)
+        rule = workload_average_variance(
+            mixed_schema, select_sa(mixed_schema), queries, 1.0
+        )
+        assert choice.average_variance <= rule + 1e-9
+
+    def test_point_query_workload_prefers_direct_release(self):
+        """A workload of point queries should push attributes into SA
+        (constant per-cell noise beats log-deep wavelet paths)."""
+        schema = Schema([OrdinalAttribute("A", 16)])
+        queries = [
+            RangeCountQuery(schema, (interval_predicate(schema["A"], i, i),))
+            for i in range(16)
+        ]
+        choice = optimize_sa(schema, queries, epsilon=1.0)
+        assert choice.sa == ("A",)
+
+    def test_full_range_workload_prefers_wavelet(self):
+        """A workload of full-domain sums should leave attributes out of
+        SA (the base coefficient answers them with tiny noise)."""
+        schema = Schema([OrdinalAttribute("A", 64)])
+        queries = [RangeCountQuery(schema)] * 4
+        choice = optimize_sa(schema, queries, epsilon=1.0)
+        assert choice.sa == ()

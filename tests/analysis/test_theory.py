@@ -1,0 +1,42 @@
+"""Unit tests for the §V-D and §VI-D worked comparisons."""
+
+import pytest
+
+from repro.analysis.theory import nominal_vs_haar, privelet_vs_basic_small_domain
+
+
+class TestSection5D:
+    def test_occupation_numbers(self):
+        """The paper's Occupation example: 4400 vs 288, ~15x improvement."""
+        comparison = nominal_vs_haar(512, 3, epsilon=1.0)
+        assert comparison.haar_variance_bound == pytest.approx(4400.0)
+        assert comparison.nominal_variance_bound == pytest.approx(288.0)
+        assert comparison.improvement_factor == pytest.approx(4400 / 288)
+        assert comparison.improvement_factor > 15.0
+
+    def test_nominal_always_wins_for_shallow_hierarchies(self):
+        """h <= log2 m implies the nominal bound is asymptotically better;
+        check it concretely across sizes for 3-level hierarchies."""
+        for size in (64, 256, 1024, 4096):
+            comparison = nominal_vs_haar(size, 3)
+            assert comparison.nominal_variance_bound < comparison.haar_variance_bound
+
+
+class TestSection6D:
+    def test_small_domain_numbers(self):
+        """|A| = 16: Privelet 600 vs Basic 128 — Basic wins."""
+        comparison = privelet_vs_basic_small_domain(16, epsilon=1.0)
+        assert comparison.privelet_variance_bound == pytest.approx(600.0)
+        assert comparison.basic_variance_bound == pytest.approx(128.0)
+        assert comparison.basic_wins
+
+    def test_large_domain_flips(self):
+        comparison = privelet_vs_basic_small_domain(4096)
+        assert not comparison.basic_wins
+
+    def test_crossover_domain_size(self):
+        """Find where the two bounds cross; should be a few hundred."""
+        sizes = [2**k for k in range(2, 14)]
+        flips = [privelet_vs_basic_small_domain(s).basic_wins for s in sizes]
+        assert flips[0] is True
+        assert flips[-1] is False

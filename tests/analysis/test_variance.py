@@ -1,0 +1,81 @@
+"""Unit tests for the closed-form variance bounds."""
+
+import pytest
+
+from repro.analysis.variance import (
+    basic_bound,
+    crossover_coverage,
+    haar_bound,
+    nominal_bound,
+    privelet_plus_bound,
+)
+from repro.data.census import BRAZIL, census_schema
+
+
+class TestBounds:
+    def test_basic(self):
+        assert basic_bound(1000, 1.0) == 8000.0
+        assert basic_bound(1000, 2.0) == 2000.0
+
+    def test_haar_equation4_paper_number(self):
+        """§V-D: m = 512 -> (2+9)(2+18)^2 = 4400."""
+        assert haar_bound(512, 1.0) == pytest.approx(4400.0)
+
+    def test_haar_pads(self):
+        assert haar_bound(500, 1.0) == haar_bound(512, 1.0)
+
+    def test_nominal_equation6_paper_number(self):
+        """§V-D: h = 3 -> 4 * 2 * 36 = 288."""
+        assert nominal_bound(3, 1.0) == pytest.approx(288.0)
+
+    def test_haar_small_domain_paper_number(self):
+        """§VI-D: |A| = 16 -> 600."""
+        assert haar_bound(16, 1.0) == pytest.approx(600.0)
+
+    def test_epsilon_scaling(self):
+        assert haar_bound(16, 2.0) == pytest.approx(150.0)
+        assert nominal_bound(3, 0.5) == pytest.approx(288.0 * 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            basic_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            haar_bound(16, 0.0)
+        with pytest.raises(ValueError):
+            nominal_bound(0, 1.0)
+
+
+class TestPriveletPlusBound:
+    def test_matches_mechanism(self, mixed_schema):
+        from repro.core.privelet_plus import PriveletPlusMechanism
+
+        for sa in [(), ("X",), ("X", "G"), ("X", "G", "Y")]:
+            bound = privelet_plus_bound(mixed_schema, sa, 1.0)
+            mechanism_bound = PriveletPlusMechanism(sa_names=sa).variance_bound(
+                mixed_schema, 1.0
+            )
+            assert bound == pytest.approx(mechanism_bound)
+
+    def test_sa_validated(self, mixed_schema):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            privelet_plus_bound(mixed_schema, ("Nope",), 1.0)
+
+
+class TestCrossover:
+    def test_census_crossover_near_one_percent(self):
+        """§VII-A reports Privelet+ winning above ~1% coverage.
+
+        The bound-based crossover is conservative (both sides are
+        worst-case bounds), landing at ~5% for the full Brazil schema; the
+        measured crossover in the benchmarks is nearer the paper's 1%.
+        """
+        schema = census_schema(BRAZIL)
+        crossover = crossover_coverage(schema, ("Age", "Gender"))
+        assert 1e-4 < crossover < 1e-1
+
+    def test_epsilon_cancels(self, mixed_schema):
+        assert crossover_coverage(mixed_schema, ("X",), 0.5) == pytest.approx(
+            crossover_coverage(mixed_schema, ("X",), 2.0)
+        )

@@ -1,0 +1,163 @@
+"""Tests for the Barak et al. marginal-release baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.barak import (
+    BarakMechanism,
+    downward_closure,
+    inverse_walsh,
+    walsh_coefficients,
+)
+from repro.data.attributes import OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.errors import PrivacyError
+
+
+def binary_schema(d):
+    return Schema([OrdinalAttribute(f"B{i}", 2) for i in range(d)])
+
+
+def random_binary_matrix(d, rng, scale=20):
+    values = rng.integers(0, scale, size=(2,) * d).astype(float)
+    return FrequencyMatrix(binary_schema(d), values)
+
+
+class TestWalsh:
+    def test_round_trip(self, rng):
+        values = rng.normal(size=(2, 2, 2))
+        np.testing.assert_allclose(
+            inverse_walsh(walsh_coefficients(values)), values, atol=1e-10
+        )
+
+    def test_zero_coefficient_is_mean(self, rng):
+        values = rng.normal(size=(2, 2))
+        coefficients = walsh_coefficients(values)
+        assert coefficients[0, 0] == pytest.approx(values.mean())
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(PrivacyError):
+            walsh_coefficients(np.zeros((2, 3)))
+
+    def test_marginal_depends_only_on_inside_coefficients(self, rng):
+        """The theory behind step 2: zeroing coefficients outside a
+        subset's power set leaves that subset's marginal unchanged."""
+        values = rng.integers(0, 9, size=(2, 2, 2)).astype(float)
+        matrix = FrequencyMatrix(binary_schema(3), values)
+        coefficients = walsh_coefficients(values)
+        subset = (0, 2)
+        keep = {(), (0,), (2,), (0, 2)}
+        filtered = np.zeros_like(coefficients)
+        for support in keep:
+            alpha = tuple(1 if axis in support else 0 for axis in range(3))
+            filtered[alpha] = coefficients[alpha]
+        rebuilt = FrequencyMatrix(binary_schema(3), inverse_walsh(filtered))
+        np.testing.assert_allclose(
+            rebuilt.marginal(["B0", "B2"]), matrix.marginal(["B0", "B2"]), atol=1e-9
+        )
+
+
+class TestDownwardClosure:
+    def test_contains_all_subsets(self):
+        closure = downward_closure([(0, 1)], 3)
+        assert set(closure) == {(), (0,), (1,), (0, 1)}
+
+    def test_union_of_families(self):
+        closure = downward_closure([(0,), (1, 2)], 3)
+        assert set(closure) == {(), (0,), (1,), (2,), (1, 2)}
+
+    def test_bounds_checked(self):
+        with pytest.raises(PrivacyError):
+            downward_closure([(5,)], 3)
+
+
+class TestBarakMechanism:
+    def test_nonnegative_output(self, rng):
+        matrix = random_binary_matrix(3, rng)
+        released = BarakMechanism([(0, 1), (1, 2)]).publish_matrix(matrix, 1.0, seed=1)
+        assert released.values.min() >= -1e-9
+
+    def test_marginals_consistent(self, rng):
+        """Published marginals share consistent sub-marginals — the
+        headline property of Barak et al."""
+        matrix = random_binary_matrix(3, rng)
+        marginals = BarakMechanism([(0, 1), (1, 2)]).publish_marginals(
+            matrix, 1.0, seed=2
+        )
+        via_01 = marginals[(0, 1)].sum(axis=0)  # marginal on B1
+        via_12 = marginals[(1, 2)].sum(axis=1)  # marginal on B1
+        np.testing.assert_allclose(via_01, via_12, atol=1e-6)
+
+    def test_high_epsilon_recovers_marginals(self, rng):
+        matrix = random_binary_matrix(3, rng)
+        marginals = BarakMechanism([(0, 1)]).publish_marginals(matrix, 1e7, seed=3)
+        np.testing.assert_allclose(
+            marginals[(0, 1)], matrix.marginal(["B0", "B1"]), atol=1e-2
+        )
+
+    def test_deterministic(self, rng):
+        matrix = random_binary_matrix(2, rng)
+        mech = BarakMechanism([(0, 1)])
+        a = mech.publish_matrix(matrix, 1.0, seed=4)
+        b = mech.publish_matrix(matrix, 1.0, seed=4)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_rejects_non_binary_schema(self, rng):
+        schema = Schema([OrdinalAttribute("A", 3), OrdinalAttribute("B", 2)])
+        matrix = FrequencyMatrix(schema, np.zeros((3, 2)))
+        with pytest.raises(PrivacyError):
+            BarakMechanism([(0,)]).publish_matrix(matrix, 1.0)
+
+    def test_requires_subsets(self):
+        with pytest.raises(PrivacyError):
+            BarakMechanism([])
+
+    def test_from_table(self, rng):
+        rows = rng.integers(0, 2, size=(500, 4))
+        table = Table(binary_schema(4), rows)
+        matrix = table.frequency_matrix()
+        marginals = BarakMechanism([(0, 1), (2, 3)]).publish_marginals(
+            matrix, 2.0, seed=5
+        )
+        # Each marginal's total approximates n (noise + LP slack).
+        for marginal in marginals.values():
+            assert marginal.sum() == pytest.approx(500, abs=120)
+
+
+class TestFrequencyMarginal:
+    def test_marginal_values(self, rng):
+        values = rng.integers(0, 9, size=(2, 3, 4)).astype(float)
+        schema = Schema(
+            [OrdinalAttribute("A", 2), OrdinalAttribute("B", 3), OrdinalAttribute("C", 4)]
+        )
+        matrix = FrequencyMatrix(schema, values)
+        np.testing.assert_allclose(matrix.marginal(["B"]), values.sum(axis=(0, 2)))
+        np.testing.assert_allclose(matrix.marginal(["A", "C"]), values.sum(axis=1))
+
+    def test_marginal_axis_order_follows_request(self, rng):
+        values = rng.normal(size=(2, 3))
+        schema = Schema([OrdinalAttribute("A", 2), OrdinalAttribute("B", 3)])
+        matrix = FrequencyMatrix(schema, values)
+        np.testing.assert_allclose(
+            matrix.marginal(["B", "A"]), matrix.marginal(["A", "B"]).T
+        )
+
+    def test_full_marginal_is_copy(self, rng):
+        values = rng.normal(size=(2, 2))
+        schema = Schema([OrdinalAttribute("A", 2), OrdinalAttribute("B", 2)])
+        matrix = FrequencyMatrix(schema, values)
+        out = matrix.marginal(["A", "B"])
+        out[0, 0] = 99
+        assert matrix.values[0, 0] != 99
+
+    def test_duplicates_rejected(self, rng):
+        schema = Schema([OrdinalAttribute("A", 2)])
+        matrix = FrequencyMatrix(schema, np.zeros(2))
+        import pytest as _pytest
+
+        from repro.errors import SchemaError
+
+        with _pytest.raises(SchemaError):
+            matrix.marginal(["A", "A"])

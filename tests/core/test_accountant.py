@@ -1,0 +1,50 @@
+"""Unit tests for the privacy accountant."""
+
+import pytest
+
+from repro.core.accountant import PrivacyAccount
+from repro.errors import PrivacyError, SchemaError
+
+
+class TestAccount:
+    def test_rho(self, mixed_schema):
+        assert PrivacyAccount(mixed_schema).generalized_sensitivity == 36.0
+        assert PrivacyAccount(mixed_schema, ("X",)).generalized_sensitivity == 9.0
+
+    def test_lambda_epsilon_round_trip(self, mixed_schema):
+        account = PrivacyAccount(mixed_schema, ("X",))
+        magnitude = account.lambda_for_epsilon(0.5)
+        assert magnitude == pytest.approx(36.0)
+        assert account.epsilon_for_lambda(magnitude) == pytest.approx(0.5)
+
+    def test_variance_bound_matches_mechanism(self, mixed_schema):
+        from repro.core.privelet_plus import PriveletPlusMechanism
+
+        account = PrivacyAccount(mixed_schema, ("X",))
+        mech = PriveletPlusMechanism(sa_names=("X",))
+        assert account.variance_bound(1.0) == pytest.approx(
+            mech.variance_bound(mixed_schema, 1.0)
+        )
+
+    def test_per_coefficient_variance(self, mixed_schema):
+        account = PrivacyAccount(mixed_schema)
+        magnitude = account.lambda_for_epsilon(1.0)
+        assert account.per_coefficient_variance(1.0, 2.0) == pytest.approx(
+            2 * (magnitude / 2.0) ** 2
+        )
+
+    def test_summary_keys(self, mixed_schema):
+        summary = PrivacyAccount(mixed_schema, ("X",)).summary(1.0)
+        assert summary["sa"] == ("X",)
+        assert summary["num_cells"] == mixed_schema.num_cells
+        assert summary["lambda"] > 0
+
+    def test_validates_sa(self, mixed_schema):
+        with pytest.raises(SchemaError):
+            PrivacyAccount(mixed_schema, ("Nope",))
+        with pytest.raises(PrivacyError):
+            PrivacyAccount(mixed_schema, ("X", "X"))
+
+    def test_rejects_bad_epsilon(self, mixed_schema):
+        with pytest.raises(ValueError):
+            PrivacyAccount(mixed_schema).lambda_for_epsilon(0)

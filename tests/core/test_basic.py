@@ -1,0 +1,62 @@
+"""Unit tests for the Basic (Dwork et al.) mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core.basic import FREQUENCY_MATRIX_SENSITIVITY, BasicMechanism
+from repro.errors import PrivacyError
+
+
+class TestBasic:
+    def test_magnitude_is_two_over_epsilon(self, mixed_table):
+        result = BasicMechanism().publish(mixed_table, epsilon=0.5, seed=1)
+        assert result.noise_magnitude == 4.0
+        assert result.epsilon == 0.5
+
+    def test_output_shape(self, mixed_table):
+        result = BasicMechanism().publish(mixed_table, epsilon=1.0, seed=1)
+        assert result.matrix.shape == mixed_table.schema.shape
+
+    def test_noise_is_zero_mean(self, mixed_table):
+        exact = mixed_table.frequency_matrix()
+        total = 0.0
+        for seed in range(30):
+            result = BasicMechanism().publish_matrix(exact, 1.0, seed=seed)
+            total += (result.matrix.values - exact.values).mean()
+        assert abs(total / 30) < 0.3
+
+    def test_per_cell_variance(self):
+        """Each cell carries Laplace(2/eps) noise: variance 8/eps^2."""
+        from repro.data.attributes import OrdinalAttribute
+        from repro.data.frequency import FrequencyMatrix
+        from repro.data.schema import Schema
+
+        schema = Schema([OrdinalAttribute("A", 50_000)])
+        exact = FrequencyMatrix.zeros(schema)
+        result = BasicMechanism().publish_matrix(exact, epsilon=2.0, seed=5)
+        assert np.var(result.matrix.values) == pytest.approx(8.0 / 4.0, rel=0.05)
+
+    def test_variance_bound_is_8m_over_eps2(self, mixed_schema):
+        bound = BasicMechanism().variance_bound(mixed_schema, epsilon=1.0)
+        assert bound == pytest.approx(8.0 * mixed_schema.num_cells)
+
+    def test_deterministic_with_seed(self, mixed_table):
+        a = BasicMechanism().publish(mixed_table, 1.0, seed=9)
+        b = BasicMechanism().publish(mixed_table, 1.0, seed=9)
+        np.testing.assert_array_equal(a.matrix.values, b.matrix.values)
+
+    def test_rejects_bad_epsilon(self, mixed_table):
+        with pytest.raises(PrivacyError):
+            BasicMechanism().publish(mixed_table, 0.0)
+        with pytest.raises(PrivacyError):
+            BasicMechanism().publish(mixed_table, -1.0)
+        with pytest.raises(PrivacyError):
+            BasicMechanism().publish(mixed_table, "1")
+
+    def test_sensitivity_constant(self):
+        assert FREQUENCY_MATRIX_SENSITIVITY == 2.0
+
+    def test_result_details(self, mixed_table):
+        result = BasicMechanism().publish(mixed_table, 1.0, seed=1)
+        assert result.details["mechanism"] == "Basic"
+        assert result.generalized_sensitivity == 1.0

@@ -1,0 +1,54 @@
+"""Tests for the mechanism framework contract and input hardening."""
+
+import numpy as np
+import pytest
+
+from repro.core.basic import BasicMechanism
+from repro.core.framework import PublishingMechanism, PublishResult
+from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.data.attributes import OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.schema import Schema
+from repro.errors import PrivacyError
+
+
+class TestInputHardening:
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    @pytest.mark.parametrize(
+        "mechanism", [BasicMechanism(), PriveletPlusMechanism(sa_names=())]
+    )
+    def test_non_finite_matrices_rejected(self, mechanism, bad):
+        schema = Schema([OrdinalAttribute("A", 4)])
+        values = np.ones(4)
+        values[2] = bad
+        matrix = FrequencyMatrix(schema, values)
+        with pytest.raises(PrivacyError):
+            mechanism.publish_matrix(matrix, 1.0, seed=0)
+
+    def test_finite_matrices_accepted(self):
+        schema = Schema([OrdinalAttribute("A", 4)])
+        matrix = FrequencyMatrix(schema, np.ones(4))
+        result = BasicMechanism().publish_matrix(matrix, 1.0, seed=0)
+        assert np.isfinite(result.matrix.values).all()
+
+
+class TestFrameworkContract:
+    def test_base_publish_matrix_abstract(self, mixed_table):
+        with pytest.raises(NotImplementedError):
+            PublishingMechanism().publish(mixed_table, 1.0)
+
+    def test_base_variance_bound_abstract(self, mixed_schema):
+        with pytest.raises(NotImplementedError):
+            PublishingMechanism().variance_bound(mixed_schema, 1.0)
+
+    def test_result_is_frozen(self, mixed_table):
+        result = BasicMechanism().publish(mixed_table, 1.0, seed=1)
+        with pytest.raises(Exception):
+            result.epsilon = 2.0
+
+    def test_result_fields(self, mixed_table):
+        result = BasicMechanism().publish(mixed_table, 1.0, seed=1)
+        assert isinstance(result, PublishResult)
+        assert result.matrix.schema == mixed_table.schema
+        assert result.epsilon == 1.0
+        assert result.variance_bound > 0

@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.laplace."""
+
+import numpy as np
+import pytest
+
+from repro.core.laplace import (
+    epsilon_for_magnitude,
+    laplace_log_density,
+    laplace_noise,
+    laplace_variance,
+    magnitude_for_epsilon,
+)
+from repro.errors import PrivacyError
+
+
+class TestNoise:
+    def test_scalar_magnitude_shape(self, rng):
+        noise = laplace_noise(2.0, (100,), seed=rng)
+        assert noise.shape == (100,)
+
+    def test_array_magnitude_shape_default(self, rng):
+        magnitudes = np.array([[1.0, 2.0], [3.0, 4.0]])
+        noise = laplace_noise(magnitudes, seed=rng)
+        assert noise.shape == (2, 2)
+
+    def test_zero_mean_and_variance(self):
+        noise = laplace_noise(3.0, (200_000,), seed=42)
+        assert abs(noise.mean()) < 0.05
+        assert np.var(noise) == pytest.approx(laplace_variance(3.0), rel=0.05)
+
+    def test_per_entry_magnitudes_respected(self):
+        magnitudes = np.array([0.5, 5.0])
+        draws = laplace_noise(magnitudes, (100_000, 2), seed=7)
+        assert np.var(draws[:, 0]) == pytest.approx(laplace_variance(0.5), rel=0.05)
+        assert np.var(draws[:, 1]) == pytest.approx(laplace_variance(5.0), rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        np.testing.assert_array_equal(
+            laplace_noise(1.0, (5,), seed=3), laplace_noise(1.0, (5,), seed=3)
+        )
+
+    def test_rejects_nonpositive_magnitude(self):
+        with pytest.raises(PrivacyError):
+            laplace_noise(0.0, (3,))
+        with pytest.raises(PrivacyError):
+            laplace_noise(np.array([1.0, -2.0]), (2,))
+        with pytest.raises(PrivacyError):
+            laplace_noise(np.inf, (2,))
+
+
+class TestArithmetic:
+    def test_variance_formula(self):
+        assert laplace_variance(2.0) == 8.0
+
+    def test_magnitude_epsilon_round_trip(self):
+        magnitude = magnitude_for_epsilon(0.5, sensitivity=2.0)
+        assert magnitude == 4.0
+        assert epsilon_for_magnitude(magnitude, sensitivity=2.0) == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            magnitude_for_epsilon(0.0, 2.0)
+        with pytest.raises(ValueError):
+            magnitude_for_epsilon(1.0, -1.0)
+
+    def test_log_density_normalized(self):
+        """Integrate the density numerically: should be ~1."""
+        xs = np.linspace(-60, 60, 200_001)
+        density = np.exp(laplace_log_density(xs, 2.0))
+        integral = np.trapezoid(density, xs)
+        assert integral == pytest.approx(1.0, abs=1e-6)
+
+    def test_log_density_ratio_bounded_by_shift(self):
+        """|log p(x) - log p(x - delta)| <= |delta| / lambda — the core of
+
+        the Laplace-mechanism privacy proof (Theorem 1)."""
+        xs = np.linspace(-10, 10, 1001)
+        delta = 1.7
+        magnitude = 2.5
+        gap = np.abs(
+            laplace_log_density(xs, magnitude) - laplace_log_density(xs - delta, magnitude)
+        )
+        assert gap.max() <= delta / magnitude + 1e-12

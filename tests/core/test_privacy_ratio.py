@@ -1,0 +1,133 @@
+"""Exact differential-privacy verification on small domains.
+
+Privelet's privacy claim (Lemma 1) is about the *noisy coefficient
+vector* C* = C(M) + eta, with eta_i ~ Laplace(lambda / W_i); the noisy
+matrix M* is post-processing of C*.  For a product of Laplace densities
+the worst-case log-ratio between neighbouring inputs is available in
+closed form::
+
+    sup_x | log p_{C1}(x) - log p_{C2}(x) |
+        = sum_i W_i |C1_i - C2_i| / lambda
+
+so ε-DP holds iff that weighted L1 distance is at most ε·lambda for
+every neighbouring pair.  These tests *enumerate all neighbouring
+frequency-matrix pairs* on small domains (one entry +1, another -1 — the
+effect of replacing one tuple) and assert the exact bound, with equality
+attained somewhere (the calibration is tight, not slack).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.accountant import PrivacyAccount
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.hierarchy import two_level_hierarchy
+from repro.data.schema import Schema
+from repro.transforms.multidim import HNTransform, weight_tensor
+
+
+def worst_case_log_ratio(transform: HNTransform, magnitude: float) -> float:
+    """Max over neighbouring matrix pairs of the exact DP log-ratio."""
+    shape = transform.input_shape
+    weights = weight_tensor(transform.weight_vectors())
+    cells = list(itertools.product(*(range(s) for s in shape)))
+    worst = 0.0
+    base = np.zeros(shape)
+    for up, down in itertools.permutations(cells, 2):
+        # Replacing one tuple: one cell +1, another -1 (Definition 1's
+        # neighbouring tables through the frequency-matrix lens).
+        delta = base.copy()
+        delta[up] += 1.0
+        delta[down] -= 1.0
+        coefficient_change = transform.forward(delta)
+        worst = max(worst, float(np.abs(coefficient_change * weights).sum()) / magnitude)
+    return worst
+
+
+def worst_case_single_cell_ratio(transform: HNTransform, magnitude: float) -> float:
+    """Max log-ratio over single-cell unit changes (L1 distance 1).
+
+    Definition 3 makes the generalized sensitivity tight for these, so
+    the result must equal exactly rho / magnitude.
+    """
+    shape = transform.input_shape
+    weights = weight_tensor(transform.weight_vectors())
+    worst = 0.0
+    delta = np.zeros(shape)
+    for cell in itertools.product(*(range(s) for s in shape)):
+        delta[cell] = 1.0
+        change = transform.forward(delta)
+        delta[cell] = 0.0
+        worst = max(worst, float(np.abs(change * weights).sum()) / magnitude)
+    return worst
+
+
+@pytest.mark.parametrize("epsilon", [0.5, 1.0, 2.0])
+class TestExactPrivacy:
+    def test_ordinal_1d(self, epsilon):
+        schema = Schema([OrdinalAttribute("A", 4)])
+        account = PrivacyAccount(schema)
+        transform = HNTransform(schema)
+        magnitude = account.lambda_for_epsilon(epsilon)
+        ratio = worst_case_log_ratio(transform, magnitude)
+        # The ε guarantee holds...
+        assert ratio <= epsilon + 1e-9
+        # ...and Definition 3 is tight for single-cell (L1 = 1) changes:
+        # the per-cell ratio is exactly rho/lambda = epsilon/2.  (For
+        # +1/-1 *pairs* Lemma 1's triangle inequality is conservative —
+        # shared coefficients like the base partially cancel.)
+        single = worst_case_single_cell_ratio(transform, magnitude)
+        assert single == pytest.approx(epsilon / 2.0)
+
+    def test_nominal_1d(self, epsilon):
+        schema = Schema([NominalAttribute("B", two_level_hierarchy([2, 2]))])
+        account = PrivacyAccount(schema)
+        transform = HNTransform(schema)
+        magnitude = account.lambda_for_epsilon(epsilon)
+        ratio = worst_case_log_ratio(transform, magnitude)
+        assert ratio <= epsilon + 1e-9
+        single = worst_case_single_cell_ratio(transform, magnitude)
+        assert single == pytest.approx(epsilon / 2.0)
+
+    def test_two_dimensional(self, epsilon):
+        schema = Schema(
+            [
+                OrdinalAttribute("A", 2),
+                NominalAttribute("B", two_level_hierarchy([2, 2])),
+            ]
+        )
+        account = PrivacyAccount(schema)
+        transform = HNTransform(schema)
+        ratio = worst_case_log_ratio(transform, account.lambda_for_epsilon(epsilon))
+        assert ratio <= epsilon + 1e-9
+
+    def test_privelet_plus_sa(self, epsilon):
+        schema = Schema(
+            [
+                OrdinalAttribute("A", 3),
+                OrdinalAttribute("B", 4),
+            ]
+        )
+        account = PrivacyAccount(schema, sa_names=("A",))
+        transform = HNTransform(schema, sa_names=("A",))
+        ratio = worst_case_log_ratio(transform, account.lambda_for_epsilon(epsilon))
+        assert ratio <= epsilon + 1e-9
+
+    def test_basic(self, epsilon):
+        """Basic = identity transform everywhere: classic sensitivity 2."""
+        schema = Schema([OrdinalAttribute("A", 5)])
+        transform = HNTransform(schema, sa_names=("A",))
+        magnitude = 2.0 / epsilon
+        ratio = worst_case_log_ratio(transform, magnitude)
+        assert ratio == pytest.approx(epsilon)
+
+
+class TestCalibrationDirection:
+    def test_larger_lambda_gives_smaller_epsilon(self):
+        schema = Schema([OrdinalAttribute("A", 4)])
+        transform = HNTransform(schema)
+        tight = worst_case_log_ratio(transform, 10.0)
+        loose = worst_case_log_ratio(transform, 1.0)
+        assert tight < loose

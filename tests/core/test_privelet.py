@@ -1,0 +1,90 @@
+"""Unit tests for the Privelet mechanism and the 1-D entry points."""
+
+import numpy as np
+import pytest
+
+from repro.core.privelet import (
+    PriveletMechanism,
+    publish_nominal_vector,
+    publish_ordinal_vector,
+)
+from repro.errors import PrivacyError
+
+
+class TestPriveletMechanism:
+    def test_name_and_sa(self, mixed_schema):
+        mechanism = PriveletMechanism()
+        assert mechanism.name == "Privelet"
+        assert mechanism.sa_for(mixed_schema) == ()
+
+    def test_publish_shape(self, mixed_table):
+        result = PriveletMechanism().publish(mixed_table, 1.0, seed=2)
+        assert result.matrix.shape == mixed_table.schema.shape
+
+    def test_magnitude_follows_theorem2(self, mixed_table):
+        """lambda = (2/eps) * prod P(A) = 2 * 36 at eps = 2."""
+        result = PriveletMechanism().publish(mixed_table, 2.0, seed=2)
+        assert result.noise_magnitude == pytest.approx(36.0)
+        assert result.generalized_sensitivity == pytest.approx(36.0)
+
+    def test_noise_concentrates_with_epsilon(self, mixed_table):
+        exact = mixed_table.frequency_matrix()
+        loose = PriveletMechanism().publish(mixed_table, 0.1, seed=3)
+        tight = PriveletMechanism().publish(mixed_table, 10.0, seed=3)
+        loose_err = np.abs(loose.matrix.values - exact.values).mean()
+        tight_err = np.abs(tight.matrix.values - exact.values).mean()
+        assert tight_err < loose_err
+
+    def test_total_count_approximately_preserved(self, mixed_table):
+        """The base coefficient is heavily weighted, so the noisy total is
+        close to n."""
+        result = PriveletMechanism().publish(mixed_table, 1.0, seed=4)
+        assert result.matrix.total == pytest.approx(
+            mixed_table.num_rows, abs=0.25 * mixed_table.num_rows
+        )
+
+    def test_deterministic_with_seed(self, mixed_table):
+        a = PriveletMechanism().publish(mixed_table, 1.0, seed=11)
+        b = PriveletMechanism().publish(mixed_table, 1.0, seed=11)
+        np.testing.assert_array_equal(a.matrix.values, b.matrix.values)
+
+
+class TestOrdinalVector:
+    def test_output_length(self, rng):
+        counts = rng.integers(0, 50, size=11).astype(float)
+        noisy = publish_ordinal_vector(counts, 1.0, seed=1)
+        assert noisy.shape == (11,)
+
+    def test_noise_shrinks_with_epsilon(self, rng):
+        counts = rng.integers(0, 50, size=64).astype(float)
+        loose = publish_ordinal_vector(counts, 0.05, seed=2)
+        tight = publish_ordinal_vector(counts, 50.0, seed=2)
+        assert np.abs(tight - counts).mean() < np.abs(loose - counts).mean()
+
+    def test_rejects_2d(self):
+        with pytest.raises(PrivacyError):
+            publish_ordinal_vector(np.zeros((2, 2)), 1.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(PrivacyError):
+            publish_ordinal_vector(np.zeros(4), 0.0)
+
+
+class TestNominalVector:
+    def test_output_length(self, figure3_hierarchy, figure3_vector):
+        noisy = publish_nominal_vector(figure3_vector, figure3_hierarchy, 1.0, seed=1)
+        assert noisy.shape == (6,)
+
+    def test_length_mismatch(self, figure3_hierarchy):
+        with pytest.raises(PrivacyError):
+            publish_nominal_vector(np.zeros(5), figure3_hierarchy, 1.0)
+
+    def test_rejects_2d(self, figure3_hierarchy):
+        with pytest.raises(PrivacyError):
+            publish_nominal_vector(np.zeros((6, 1)), figure3_hierarchy, 1.0)
+
+    def test_high_epsilon_approaches_exact(self, figure3_hierarchy, figure3_vector):
+        noisy = publish_nominal_vector(
+            figure3_vector, figure3_hierarchy, 1e7, seed=3
+        )
+        np.testing.assert_allclose(noisy, figure3_vector, atol=1e-2)

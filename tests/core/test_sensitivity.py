@@ -1,0 +1,79 @@
+"""Unit tests for generalized-sensitivity computation (Definition 3)."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    empirical_generalized_sensitivity,
+    sensitivity_of_schema,
+    variance_factor_of_schema,
+)
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.hierarchy import balanced_hierarchy, flat_hierarchy, two_level_hierarchy
+from repro.data.schema import Schema
+from repro.transforms.multidim import HNTransform
+
+
+class TestClosedForms:
+    def test_single_ordinal(self):
+        schema = Schema([OrdinalAttribute("A", 16)])
+        assert sensitivity_of_schema(schema) == 5.0
+        assert variance_factor_of_schema(schema) == 3.0
+
+    def test_single_nominal(self):
+        schema = Schema([NominalAttribute("B", two_level_hierarchy([3, 3, 3]))])
+        assert sensitivity_of_schema(schema) == 3.0
+        assert variance_factor_of_schema(schema) == 4.0
+
+    def test_product_over_attributes(self, mixed_schema):
+        assert sensitivity_of_schema(mixed_schema) == 4.0 * 3.0 * 3.0
+        assert variance_factor_of_schema(mixed_schema) == 2.5 * 4.0 * 2.0
+
+    def test_sa_replaces_factors(self, mixed_schema):
+        assert sensitivity_of_schema(mixed_schema, ("X",)) == 9.0
+        assert variance_factor_of_schema(mixed_schema, ("X",)) == 5.0 * 4.0 * 2.0
+
+    def test_all_sa(self, mixed_schema):
+        assert sensitivity_of_schema(mixed_schema, ("X", "G", "Y")) == 1.0
+        assert variance_factor_of_schema(mixed_schema, ("X", "G", "Y")) == 5 * 6 * 4
+
+
+class TestEmpiricalProbe:
+    """Lemmas 2 and 4 and Theorem 2 verified by direct measurement."""
+
+    def test_lemma2_haar(self):
+        schema = Schema([OrdinalAttribute("A", 8)])
+        measured = empirical_generalized_sensitivity(HNTransform(schema))
+        assert measured == pytest.approx(4.0)  # 1 + log2 8
+
+    def test_lemma2_haar_padded(self):
+        schema = Schema([OrdinalAttribute("A", 5)])
+        measured = empirical_generalized_sensitivity(HNTransform(schema))
+        assert measured == pytest.approx(4.0)  # padded to 8
+
+    def test_lemma4_nominal_balanced(self):
+        schema = Schema([NominalAttribute("B", balanced_hierarchy(8, 2))])
+        measured = empirical_generalized_sensitivity(HNTransform(schema))
+        assert measured == pytest.approx(4.0)  # h = 4
+
+    def test_lemma4_nominal_flat(self):
+        schema = Schema([NominalAttribute("B", flat_hierarchy(9))])
+        measured = empirical_generalized_sensitivity(HNTransform(schema))
+        assert measured == pytest.approx(2.0)  # h = 2
+
+    def test_theorem2_two_dimensions(self):
+        schema = Schema(
+            [
+                OrdinalAttribute("A", 4),
+                NominalAttribute("B", two_level_hierarchy([2, 2])),
+            ]
+        )
+        hn = HNTransform(schema)
+        assert empirical_generalized_sensitivity(hn) == pytest.approx(
+            3.0 * 3.0
+        )  # P(A)=3, h=3
+
+    def test_subset_of_cells_is_lower_bound(self, mixed_schema):
+        hn = HNTransform(mixed_schema)
+        partial = empirical_generalized_sensitivity(hn, cells=[(0, 0, 0), (4, 5, 3)])
+        assert partial <= hn.generalized_sensitivity() + 1e-9
+        assert partial > 0

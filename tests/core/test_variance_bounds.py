@@ -1,0 +1,185 @@
+"""Monte-Carlo verification of the utility lemmas (Lemma 3, Lemma 5,
+Theorem 3, Corollary 1).
+
+Each test publishes a small matrix many times, measures the empirical
+noise variance of range-count answers, and checks it against the paper's
+closed-form bound.  Tolerances are loose (sampling error) but the tests
+are seeded, so they are deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.basic import BasicMechanism
+from repro.core.privelet import (
+    PriveletMechanism,
+    publish_nominal_vector,
+    publish_ordinal_vector,
+)
+from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.hierarchy import two_level_hierarchy
+from repro.data.schema import Schema
+from repro.analysis.variance import basic_bound, haar_bound, nominal_bound
+
+REPS = 1500
+
+
+def empirical_query_variance(publish, exact_answer_fn, reps=REPS):
+    """Variance of (answer(noisy) - answer(exact)) over repetitions."""
+    errors = np.array([publish(seed) - exact_answer_fn for seed in range(reps)])
+    return float(np.var(errors))
+
+
+class TestLemma3Haar:
+    def test_full_range_query_within_equation4(self, rng):
+        counts = rng.integers(0, 20, size=16).astype(float)
+        epsilon = 1.0
+        bound = haar_bound(16, epsilon)
+
+        def publish(seed):
+            return publish_ordinal_vector(counts, epsilon, seed=seed).sum()
+
+        variance = empirical_query_variance(publish, counts.sum())
+        assert variance <= bound * 1.15
+
+    def test_prefix_query_within_equation4(self, rng):
+        counts = rng.integers(0, 20, size=16).astype(float)
+        epsilon = 1.0
+        bound = haar_bound(16, epsilon)
+
+        def publish(seed):
+            return publish_ordinal_vector(counts, epsilon, seed=seed)[:11].sum()
+
+        variance = empirical_query_variance(publish, counts[:11].sum())
+        assert variance <= bound * 1.15
+
+    def test_single_cell_query_much_smaller(self, rng):
+        """Point queries touch all log m levels but with tiny per-level
+        noise; the bound still holds with room to spare."""
+        counts = rng.integers(0, 20, size=16).astype(float)
+        epsilon = 1.0
+
+        def publish(seed):
+            return publish_ordinal_vector(counts, epsilon, seed=seed)[3]
+
+        variance = empirical_query_variance(publish, counts[3])
+        assert variance <= haar_bound(16, epsilon)
+
+
+class TestLemma5Nominal:
+    def test_subtree_query_within_equation6(self, figure3_hierarchy, figure3_vector):
+        epsilon = 1.0
+        bound = nominal_bound(figure3_hierarchy.height, epsilon)
+
+        def publish(seed):
+            noisy = publish_nominal_vector(
+                figure3_vector, figure3_hierarchy, epsilon, seed=seed
+            )
+            return noisy[0:3].sum()  # the subtree of node L
+
+        variance = empirical_query_variance(publish, figure3_vector[0:3].sum())
+        assert variance <= bound * 1.15
+
+    def test_leaf_query_within_equation6(self, figure3_hierarchy, figure3_vector):
+        epsilon = 1.0
+        bound = nominal_bound(figure3_hierarchy.height, epsilon)
+
+        def publish(seed):
+            noisy = publish_nominal_vector(
+                figure3_vector, figure3_hierarchy, epsilon, seed=seed
+            )
+            return noisy[4]
+
+        variance = empirical_query_variance(publish, figure3_vector[4])
+        assert variance <= bound * 1.15
+
+    def test_refinement_reduces_variance(self, figure3_hierarchy, figure3_vector):
+        """Ablation: without mean subtraction, subtree-sum queries carry
+        more noise (the Lemma 5 cancellation is lost)."""
+        from repro.core.laplace import laplace_noise, magnitude_for_epsilon
+        from repro.transforms.nominal import NominalTransform
+
+        transform = NominalTransform(figure3_hierarchy)
+        magnitude = magnitude_for_epsilon(1.0, 2.0 * transform.sensitivity_factor())
+        coefficients = transform.forward(figure3_vector)
+        exact = figure3_vector[0:3].sum()
+
+        def answers(refine, seed):
+            noisy = coefficients + laplace_noise(
+                magnitude / transform.weight_vector(), seed=seed
+            )
+            return transform.inverse(noisy, refine=refine)[0:3].sum()
+
+        refined = np.var([answers(True, s) - exact for s in range(REPS)])
+        raw = np.var([answers(False, s) - exact for s in range(REPS)])
+        assert refined < raw
+
+
+class TestTheorem3MultiDim:
+    def test_two_dim_query_within_bound(self, rng):
+        schema = Schema(
+            [
+                OrdinalAttribute("A", 8),
+                NominalAttribute("B", two_level_hierarchy([2, 2])),
+            ]
+        )
+        exact = FrequencyMatrix(schema, rng.integers(0, 10, size=(8, 4)).astype(float))
+        epsilon = 1.0
+        mechanism = PriveletMechanism()
+        bound = mechanism.variance_bound(schema, epsilon)
+        exact_answer = exact.values[2:7, 0:2].sum()
+
+        errors = []
+        for seed in range(REPS):
+            result = mechanism.publish_matrix(exact, epsilon, seed=seed)
+            errors.append(result.matrix.values[2:7, 0:2].sum() - exact_answer)
+        assert np.var(errors) <= bound * 1.15
+
+    def test_privelet_plus_query_within_corollary1(self, rng):
+        schema = Schema(
+            [
+                OrdinalAttribute("A", 4),
+                OrdinalAttribute("B", 8),
+            ]
+        )
+        exact = FrequencyMatrix(schema, rng.integers(0, 10, size=(4, 8)).astype(float))
+        epsilon = 1.0
+        mechanism = PriveletPlusMechanism(sa_names=("A",))
+        bound = mechanism.variance_bound(schema, epsilon)
+        exact_answer = exact.values[:, 1:6].sum()
+
+        errors = []
+        for seed in range(REPS):
+            result = mechanism.publish_matrix(exact, epsilon, seed=seed)
+            errors.append(result.matrix.values[:, 1:6].sum() - exact_answer)
+        assert np.var(errors) <= bound * 1.15
+
+
+class TestBasicVariance:
+    def test_full_query_matches_8m(self, rng):
+        schema = Schema([OrdinalAttribute("A", 32)])
+        exact = FrequencyMatrix(schema, rng.integers(0, 10, size=32).astype(float))
+        epsilon = 1.0
+        errors = []
+        for seed in range(REPS):
+            result = BasicMechanism().publish_matrix(exact, epsilon, seed=seed)
+            errors.append(result.matrix.values.sum() - exact.values.sum())
+        # Full-coverage query: variance ~ exactly 8m/eps^2.
+        assert np.var(errors) == pytest.approx(basic_bound(32, epsilon), rel=0.15)
+
+    def test_crossover_large_query_favours_privelet(self, rng):
+        """The headline claim: for wide queries Privelet beats Basic."""
+        schema = Schema([OrdinalAttribute("A", 256)])
+        exact = FrequencyMatrix(schema, rng.integers(0, 10, size=256).astype(float))
+        epsilon = 1.0
+        exact_answer = exact.values.sum()
+
+        basic_errors, privelet_errors = [], []
+        for seed in range(400):
+            b = BasicMechanism().publish_matrix(exact, epsilon, seed=seed)
+            p = PriveletMechanism().publish_matrix(exact, epsilon, seed=seed)
+            basic_errors.append(b.matrix.values.sum() - exact_answer)
+            privelet_errors.append(p.matrix.values.sum() - exact_answer)
+        assert np.var(privelet_errors) < np.var(basic_errors)

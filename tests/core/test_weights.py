@@ -1,0 +1,26 @@
+"""Unit tests for the paper-named weight functions."""
+
+import numpy as np
+
+from repro.core.weights import w_haar, w_hn, w_nominal
+
+
+class TestWeights:
+    def test_w_haar(self):
+        np.testing.assert_array_equal(w_haar(4), [4, 4, 2, 2])
+
+    def test_w_nominal(self, figure3_hierarchy):
+        weights = w_nominal(figure3_hierarchy)
+        assert weights[0] == 1.0
+        np.testing.assert_allclose(weights[3:], 0.75)
+
+    def test_w_hn_per_axis(self, mixed_schema):
+        vectors = w_hn(mixed_schema)
+        assert len(vectors) == 3
+        assert len(vectors[0]) == 8  # padded Haar
+        assert len(vectors[1]) == 9  # nominal nodes
+        assert len(vectors[2]) == 4
+
+    def test_w_hn_sa_axis_is_ones(self, mixed_schema):
+        vectors = w_hn(mixed_schema, sa_names=("X",))
+        np.testing.assert_array_equal(vectors[0], np.ones(5))

@@ -1,0 +1,115 @@
+"""Unit tests for repro.data.attributes."""
+
+import math
+
+import pytest
+
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.hierarchy import flat_hierarchy, two_level_hierarchy
+from repro.errors import SchemaError
+
+
+class TestOrdinal:
+    def test_basic_properties(self):
+        age = OrdinalAttribute("Age", 101)
+        assert age.name == "Age"
+        assert age.size == 101
+        assert age.is_ordinal
+        assert not age.is_nominal
+
+    def test_padded_size(self):
+        assert OrdinalAttribute("A", 101).padded_size == 128
+        assert OrdinalAttribute("A", 128).padded_size == 128
+        assert OrdinalAttribute("A", 1).padded_size == 1
+
+    def test_sensitivity_factor_is_one_plus_log(self):
+        # P(A) = 1 + log2(padded |A|): for 101 -> padded 128 -> P = 8
+        assert OrdinalAttribute("A", 101).sensitivity_factor() == 8.0
+        assert OrdinalAttribute("A", 16).sensitivity_factor() == 5.0
+
+    def test_variance_factor(self):
+        # H(A) = (2 + log2 |A|)/2: for 16 -> 3
+        assert OrdinalAttribute("A", 16).variance_factor() == 3.0
+        assert OrdinalAttribute("A", 101).variance_factor() == 4.5
+
+    def test_labels_validated(self):
+        with pytest.raises(SchemaError):
+            OrdinalAttribute("A", 3, labels=["x", "y"])
+        attr = OrdinalAttribute("A", 2, labels=["lo", "hi"])
+        assert attr.labels == ["lo", "hi"]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            OrdinalAttribute("A", 0)
+        with pytest.raises(TypeError):
+            OrdinalAttribute("A", 2.5)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            OrdinalAttribute("", 4)
+
+    def test_equality_and_hash(self):
+        assert OrdinalAttribute("A", 4) == OrdinalAttribute("A", 4)
+        assert OrdinalAttribute("A", 4) != OrdinalAttribute("A", 5)
+        assert hash(OrdinalAttribute("A", 4)) == hash(OrdinalAttribute("A", 4))
+
+
+class TestNominal:
+    def test_basic_properties(self):
+        attr = NominalAttribute("G", two_level_hierarchy([3, 3]))
+        assert attr.size == 6
+        assert attr.is_nominal
+        assert attr.height == 3
+
+    def test_sensitivity_factor_is_height(self):
+        attr = NominalAttribute("G", two_level_hierarchy([3, 3]))
+        assert attr.sensitivity_factor() == 3.0
+
+    def test_variance_factor_is_four(self):
+        attr = NominalAttribute("G", flat_hierarchy(10))
+        assert attr.variance_factor() == 4.0
+
+    def test_with_flat_hierarchy(self):
+        attr = NominalAttribute.with_flat_hierarchy("G", 7)
+        assert attr.size == 7
+        assert attr.height == 2
+
+    def test_requires_hierarchy(self):
+        with pytest.raises(SchemaError):
+            NominalAttribute("G", "not a hierarchy")
+
+    def test_labels(self):
+        attr = NominalAttribute("G", flat_hierarchy(["x", "y", "z"]))
+        assert attr.labels() == ["x", "y", "z"]
+
+
+class TestSaSelectionRule:
+    """§VI-D: A goes to SA iff |A| <= P(A)^2 * H(A)."""
+
+    def test_small_ordinal_favours_direct(self):
+        # |A|=16: P^2 H = 25*3 = 75 >= 16
+        assert OrdinalAttribute("A", 16).favours_direct_release()
+
+    def test_large_ordinal_favours_wavelet(self):
+        # |A|=1001 -> padded 1024: P=11, H=6 -> 726 < 1001
+        assert not OrdinalAttribute("Income", 1001).favours_direct_release()
+
+    def test_age_and_gender_favour_direct(self):
+        # The paper's SA = {Age, Gender} choice (§VII-A).
+        assert OrdinalAttribute("Age", 101).favours_direct_release()
+        assert NominalAttribute("Gender", flat_hierarchy(2)).favours_direct_release()
+
+    def test_occupation_favours_wavelet(self):
+        occupation = NominalAttribute("Occupation", two_level_hierarchy([32] * 16))
+        assert occupation.size == 512
+        # h=3: P^2 H = 9*4 = 36 < 512
+        assert not occupation.favours_direct_release()
+
+    def test_paper_arithmetic(self):
+        # §V-D: Occupation m=512 h=3 -> P=3, H=4.
+        occ = NominalAttribute("Occupation", two_level_hierarchy([32] * 16))
+        assert occ.sensitivity_factor() == 3.0
+        assert occ.variance_factor() == 4.0
+        assert math.isclose(
+            OrdinalAttribute("A", 512).sensitivity_factor(), 10.0
+        )  # 1 + log2 512

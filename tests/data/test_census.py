@@ -1,0 +1,97 @@
+"""Unit tests for the synthetic census generator (Table III stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.data.census import BRAZIL, US, census_schema, generate_census_table
+
+
+class TestSpecs:
+    def test_table3_brazil(self):
+        """Domain sizes of Table III, Brazil row."""
+        schema = census_schema(BRAZIL)
+        assert schema.names == ("Age", "Gender", "Occupation", "Income")
+        assert schema.shape == (101, 2, 512, 1001)
+        assert schema["Gender"].height == 2
+        assert schema["Occupation"].height == 3
+
+    def test_table3_us(self):
+        """Domain sizes of Table III, US row."""
+        schema = census_schema(US)
+        assert schema.shape == (96, 2, 511, 1020)
+        assert schema["Gender"].height == 2
+        assert schema["Occupation"].height == 3
+
+    def test_attribute_kinds(self):
+        schema = census_schema(BRAZIL)
+        assert schema["Age"].is_ordinal
+        assert schema["Income"].is_ordinal
+        assert schema["Gender"].is_nominal
+        assert schema["Occupation"].is_nominal
+
+    def test_scaling_shrinks_large_domains_only(self):
+        scaled = BRAZIL.scaled(0.25)
+        assert scaled.age_size == BRAZIL.age_size
+        assert scaled.gender_size == BRAZIL.gender_size
+        assert scaled.occupation_size == 128
+        assert scaled.income_size < BRAZIL.income_size
+        assert scaled.default_rows < BRAZIL.default_rows
+
+    def test_scale_one_is_identity(self):
+        assert BRAZIL.scaled(1.0) is BRAZIL
+
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            BRAZIL.scaled(0.0)
+        with pytest.raises(ValueError):
+            BRAZIL.scaled(1.5)
+
+    def test_scaled_hierarchy_height_preserved(self):
+        schema = census_schema(BRAZIL.scaled(0.1))
+        assert schema["Occupation"].height == 3
+        assert schema["Gender"].height == 2
+
+
+class TestGeneration:
+    def test_row_count_and_domains(self):
+        spec = BRAZIL.scaled(0.05)
+        table = generate_census_table(spec, 5000, seed=7)
+        assert table.num_rows == 5000
+        rows = table.rows
+        for axis, attr in enumerate(table.schema):
+            assert rows[:, axis].min() >= 0
+            assert rows[:, axis].max() < attr.size
+
+    def test_deterministic_with_seed(self):
+        spec = BRAZIL.scaled(0.05)
+        a = generate_census_table(spec, 1000, seed=3)
+        b = generate_census_table(spec, 1000, seed=3)
+        np.testing.assert_array_equal(a.rows, b.rows)
+
+    def test_different_seeds_differ(self):
+        spec = BRAZIL.scaled(0.05)
+        a = generate_census_table(spec, 1000, seed=3)
+        b = generate_census_table(spec, 1000, seed=4)
+        assert not np.array_equal(a.rows, b.rows)
+
+    def test_marginals_are_skewed(self):
+        """Occupation should be Zipf-like: the head dominates the tail."""
+        spec = BRAZIL.scaled(0.1)
+        table = generate_census_table(spec, 20_000, seed=11)
+        occupation = table.rows[:, 2]
+        counts = np.bincount(occupation, minlength=spec.occupation_size)
+        head = counts[: spec.occupation_size // 10].sum()
+        assert head > table.num_rows * 0.3
+
+    def test_income_correlates_with_age(self):
+        spec = BRAZIL.scaled(0.1)
+        table = generate_census_table(spec, 20_000, seed=13)
+        age = table.rows[:, 0].astype(float)
+        income = table.rows[:, 3].astype(float)
+        correlation = np.corrcoef(age, income)[0, 1]
+        assert correlation > 0.1
+
+    def test_default_rows_used_when_omitted(self):
+        spec = BRAZIL.scaled(0.01)
+        table = generate_census_table(spec, seed=1)
+        assert table.num_rows == spec.default_rows

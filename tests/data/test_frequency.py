@@ -1,0 +1,70 @@
+"""Unit tests for repro.data.frequency."""
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+
+def schema_3x4():
+    return Schema([OrdinalAttribute("A", 3), OrdinalAttribute("B", 4)])
+
+
+class TestFrequencyMatrix:
+    def test_shape_must_match_schema(self):
+        with pytest.raises(SchemaError):
+            FrequencyMatrix(schema_3x4(), np.zeros((3, 3)))
+
+    def test_zeros(self):
+        matrix = FrequencyMatrix.zeros(schema_3x4())
+        assert matrix.total == 0.0
+        assert matrix.num_cells == 12
+
+    def test_copy_is_independent(self):
+        matrix = FrequencyMatrix.zeros(schema_3x4())
+        clone = matrix.copy()
+        clone.values[0, 0] = 7.0
+        assert matrix.values[0, 0] == 0.0
+
+    def test_perturb_cell(self):
+        matrix = FrequencyMatrix.zeros(schema_3x4())
+        bumped = matrix.perturb_cell((1, 2), 2.5)
+        assert bumped.values[1, 2] == 2.5
+        assert matrix.values[1, 2] == 0.0
+        assert matrix.l1_distance(bumped) == 2.5
+
+    def test_perturb_cell_validates(self):
+        matrix = FrequencyMatrix.zeros(schema_3x4())
+        with pytest.raises(SchemaError):
+            matrix.perturb_cell((3, 0), 1.0)
+
+    def test_l1_distance(self):
+        a = FrequencyMatrix.zeros(schema_3x4())
+        b = a.perturb_cell((0, 0), 1.0).perturb_cell((2, 3), -2.0)
+        assert a.l1_distance(b) == 3.0
+
+    def test_l1_distance_shape_mismatch(self):
+        a = FrequencyMatrix.zeros(schema_3x4())
+        b = FrequencyMatrix.zeros(Schema([OrdinalAttribute("A", 2)]))
+        with pytest.raises(SchemaError):
+            a.l1_distance(b)
+
+    def test_range_sum(self):
+        values = np.arange(12, dtype=float).reshape(3, 4)
+        matrix = FrequencyMatrix(schema_3x4(), values)
+        assert matrix.range_sum([(0, 3), (0, 4)]) == values.sum()
+        assert matrix.range_sum([(1, 2), (1, 3)]) == values[1, 1:3].sum()
+        assert matrix.range_sum([(0, 0), (0, 4)]) == 0.0  # empty range
+
+    def test_range_sum_bounds(self):
+        matrix = FrequencyMatrix.zeros(schema_3x4())
+        with pytest.raises(SchemaError):
+            matrix.range_sum([(0, 4), (0, 4)])
+        with pytest.raises(SchemaError):
+            matrix.range_sum([(0, 3)])
+
+    def test_repr(self):
+        assert "shape=(3, 4)" in repr(FrequencyMatrix.zeros(schema_3x4()))

@@ -1,0 +1,257 @@
+"""Unit tests for repro.data.hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.data.hierarchy import (
+    Hierarchy,
+    Node,
+    balanced_hierarchy,
+    flat_hierarchy,
+    hierarchy_from_spec,
+    two_level_hierarchy,
+)
+from repro.errors import HierarchyError
+
+
+class TestConstruction:
+    def test_flat_hierarchy_counts(self):
+        h = flat_hierarchy(5)
+        assert h.num_leaves == 5
+        assert h.num_nodes == 6  # root + 5 leaves
+        assert h.num_internal_nodes == 1
+        assert h.height == 2
+
+    def test_flat_hierarchy_from_labels(self):
+        h = flat_hierarchy(["a", "b", "c"])
+        assert h.leaf_labels() == ["a", "b", "c"]
+
+    def test_flat_hierarchy_rejects_single_leaf(self):
+        with pytest.raises(HierarchyError):
+            flat_hierarchy(1)
+
+    def test_two_level_counts(self):
+        h = two_level_hierarchy([3, 3])
+        assert h.num_leaves == 6
+        assert h.num_nodes == 9
+        assert h.height == 3
+
+    def test_two_level_rejects_tiny_groups(self):
+        with pytest.raises(HierarchyError):
+            two_level_hierarchy([1, 5])
+
+    def test_two_level_rejects_single_group(self):
+        with pytest.raises(HierarchyError):
+            two_level_hierarchy([4])
+
+    def test_balanced_binary(self):
+        h = balanced_hierarchy(8, 2)
+        assert h.num_leaves == 8
+        assert h.height == 4
+        assert h.num_nodes == 15
+
+    def test_balanced_rejects_non_power(self):
+        with pytest.raises(HierarchyError):
+            balanced_hierarchy(6, 2)
+
+    def test_balanced_rejects_fanout_one(self):
+        with pytest.raises(HierarchyError):
+            balanced_hierarchy(4, 1)
+
+    def test_fanout_one_internal_node_rejected(self):
+        root = Node("Any")
+        only = root.add("only-child-parent")
+        only.add("leaf")
+        # root has fanout 1 -> rejected before the weight function divides
+        # by zero
+        with pytest.raises(HierarchyError):
+            Hierarchy(root)
+
+    def test_single_node_hierarchy_allowed(self):
+        h = Hierarchy(Node("v"))
+        assert h.num_leaves == 1
+        assert h.num_nodes == 1
+        assert h.height == 1
+
+
+class TestFromSpec:
+    def test_figure1_countries(self):
+        """The paper's Figure 1 hierarchy, from a nested spec."""
+        hierarchy = hierarchy_from_spec(
+            {
+                "North America": ["USA", "Canada"],
+                "South America": ["Brazil", "Argentina"],
+            }
+        )
+        assert hierarchy.height == 3
+        assert hierarchy.leaf_labels() == ["USA", "Canada", "Brazil", "Argentina"]
+        na = hierarchy.find("North America")
+        assert hierarchy.leaf_interval(na) == (0, 2)
+
+    def test_flat_spec(self):
+        hierarchy = hierarchy_from_spec(["a", "b", "c"])
+        assert hierarchy.height == 2
+        assert hierarchy.num_leaves == 3
+
+    def test_mixed_depths(self):
+        hierarchy = hierarchy_from_spec({"grouped": ["x", "y"], "also": ["p", "q"]})
+        assert hierarchy.num_nodes == 7
+
+    def test_numbers_as_leaves(self):
+        hierarchy = hierarchy_from_spec([1, 2, 3])
+        assert hierarchy.leaf_labels() == ["1", "2", "3"]
+
+    def test_rejects_nested_sequences(self):
+        with pytest.raises(HierarchyError):
+            hierarchy_from_spec([["a", "b"], ["c"]])
+
+    def test_rejects_scalar_spec(self):
+        with pytest.raises(HierarchyError):
+            hierarchy_from_spec("just-a-string-is-ambiguous")
+
+    def test_fanout_rule_still_enforced(self):
+        with pytest.raises(HierarchyError):
+            hierarchy_from_spec({"only": ["a", "b"]})  # root fanout 1
+
+
+class TestLevelOrder:
+    def test_root_is_node_zero(self, figure3_hierarchy):
+        assert figure3_hierarchy.root_id == 0
+        assert figure3_hierarchy.parent(0) == -1
+        assert figure3_hierarchy.level(0) == 1
+
+    def test_levels_monotone(self, unbalanced_hierarchy):
+        levels = unbalanced_hierarchy.level_array
+        assert np.all(np.diff(levels) >= 0)
+
+    def test_children_contiguous(self, unbalanced_hierarchy):
+        h = unbalanced_hierarchy
+        for node_id in range(h.num_nodes):
+            kids = list(h.children(node_id))
+            if kids:
+                assert kids == list(range(kids[0], kids[-1] + 1))
+                for kid in kids:
+                    assert h.parent(kid) == node_id
+
+    def test_level_slices_partition_nodes(self, unbalanced_hierarchy):
+        h = unbalanced_hierarchy
+        seen = []
+        for level in range(1, h.height + 1):
+            sl = h.level_slice(level)
+            seen.extend(range(sl.start, sl.stop))
+        assert seen == list(range(h.num_nodes))
+
+    def test_level_slice_out_of_range(self, figure3_hierarchy):
+        with pytest.raises(HierarchyError):
+            figure3_hierarchy.level_slice(0)
+        with pytest.raises(HierarchyError):
+            figure3_hierarchy.level_slice(99)
+
+
+class TestLeafIntervals:
+    def test_root_covers_domain(self, unbalanced_hierarchy):
+        h = unbalanced_hierarchy
+        assert h.leaf_interval(0) == (0, h.num_leaves)
+
+    def test_leaf_intervals_have_width_one(self, figure3_hierarchy):
+        h = figure3_hierarchy
+        for leaf_index in range(h.num_leaves):
+            node_id = h.node_id_of_leaf(leaf_index)
+            assert h.leaf_interval(node_id) == (leaf_index, leaf_index + 1)
+
+    def test_children_partition_parent_interval(self, unbalanced_hierarchy):
+        h = unbalanced_hierarchy
+        for node_id in range(h.num_nodes):
+            kids = list(h.children(node_id))
+            if not kids:
+                continue
+            lo, hi = h.leaf_interval(node_id)
+            child_intervals = sorted(h.leaf_interval(k) for k in kids)
+            assert child_intervals[0][0] == lo
+            assert child_intervals[-1][1] == hi
+            for (a_lo, a_hi), (b_lo, b_hi) in zip(child_intervals, child_intervals[1:]):
+                assert a_hi == b_lo  # contiguous, non-overlapping
+
+    def test_leaf_index_roundtrip(self, unbalanced_hierarchy):
+        h = unbalanced_hierarchy
+        for leaf_index in range(h.num_leaves):
+            assert h.leaf_index(h.node_id_of_leaf(leaf_index)) == leaf_index
+
+    def test_leaf_index_rejects_internal(self, figure3_hierarchy):
+        with pytest.raises(HierarchyError):
+            figure3_hierarchy.leaf_index(0)
+
+    def test_node_id_of_leaf_bounds(self, figure3_hierarchy):
+        with pytest.raises(HierarchyError):
+            figure3_hierarchy.node_id_of_leaf(-1)
+        with pytest.raises(HierarchyError):
+            figure3_hierarchy.node_id_of_leaf(6)
+
+
+class TestSiblingGroups:
+    def test_groups_cover_non_root_nodes(self, unbalanced_hierarchy):
+        h = unbalanced_hierarchy
+        covered = []
+        for group in h.sibling_groups():
+            covered.extend(range(group.start, group.stop))
+        assert sorted(covered) == list(range(1, h.num_nodes))
+
+    def test_group_members_share_parent(self, unbalanced_hierarchy):
+        h = unbalanced_hierarchy
+        for group in h.sibling_groups():
+            parents = {h.parent(i) for i in range(group.start, group.stop)}
+            assert len(parents) == 1
+
+    def test_figure3_groups(self, figure3_hierarchy):
+        groups = figure3_hierarchy.sibling_groups()
+        spans = [(g.start, g.stop) for g in groups]
+        assert spans == [(1, 3), (3, 6), (6, 9)]
+
+
+class TestHeightBound:
+    def test_balanced_hierarchies_attain_the_bound(self):
+        from repro.data.hierarchy import uniform_depth_height_bound
+
+        for leaves, fanout in [(8, 2), (16, 2), (27, 3)]:
+            hierarchy = balanced_hierarchy(leaves, fanout)
+            assert hierarchy.height <= uniform_depth_height_bound(leaves)
+        assert balanced_hierarchy(16, 2).height == uniform_depth_height_bound(16)
+
+    def test_flat_hierarchy_below_bound(self):
+        from repro.data.hierarchy import uniform_depth_height_bound
+
+        assert flat_hierarchy(100).height <= uniform_depth_height_bound(100)
+
+    def test_single_leaf(self):
+        from repro.data.hierarchy import uniform_depth_height_bound
+
+        assert uniform_depth_height_bound(1) == 1
+
+
+class TestAccessors:
+    def test_find_by_label(self, figure3_hierarchy):
+        assert figure3_hierarchy.find("Any") == 0
+        node = figure3_hierarchy.find("v4")
+        assert figure3_hierarchy.is_leaf(node)
+
+    def test_find_missing(self, figure3_hierarchy):
+        with pytest.raises(HierarchyError):
+            figure3_hierarchy.find("nope")
+
+    def test_fanouts(self, figure3_hierarchy):
+        assert figure3_hierarchy.fanout(0) == 2
+        assert figure3_hierarchy.fanout(1) == 3
+        assert figure3_hierarchy.fanout(figure3_hierarchy.find("v1")) == 0
+
+    def test_repr(self, figure3_hierarchy):
+        assert "leaves=6" in repr(figure3_hierarchy)
+
+    def test_non_root_node_ids(self, figure3_hierarchy):
+        ids = figure3_hierarchy.non_root_node_ids()
+        assert ids.tolist() == list(range(1, 9))
+
+    def test_validate_passes(self, unbalanced_hierarchy):
+        unbalanced_hierarchy.validate()
+
+    def test_len(self, figure3_hierarchy):
+        assert len(figure3_hierarchy) == 9

@@ -1,0 +1,102 @@
+"""Tests for CSV ingestion and export."""
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.hierarchy import flat_hierarchy
+from repro.data.loaders import load_table_csv, save_table_csv
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def labelled_schema():
+    return Schema(
+        [
+            OrdinalAttribute("Age", 3, labels=["young", "middle", "old"]),
+            NominalAttribute("Country", flat_hierarchy(["US", "Canada", "Brazil"])),
+            OrdinalAttribute("Score", 5),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_labels(self, labelled_schema, tmp_path):
+        table = Table(labelled_schema, [[0, 2, 4], [2, 0, 0], [1, 1, 3]])
+        path = tmp_path / "t.csv"
+        save_table_csv(path, table)
+        loaded = load_table_csv(path, labelled_schema)
+        np.testing.assert_array_equal(loaded.rows, table.rows)
+
+    def test_codes(self, labelled_schema, tmp_path):
+        table = Table(labelled_schema, [[0, 2, 4]])
+        path = tmp_path / "t.csv"
+        save_table_csv(path, table, use_labels=False)
+        text = path.read_text()
+        assert "young" not in text
+        loaded = load_table_csv(path, labelled_schema)
+        np.testing.assert_array_equal(loaded.rows, table.rows)
+
+    def test_label_content(self, labelled_schema, tmp_path):
+        table = Table(labelled_schema, [[1, 2, 0]])
+        path = tmp_path / "t.csv"
+        save_table_csv(path, table)
+        assert "middle,Brazil,0" in path.read_text()
+
+    def test_empty_table(self, labelled_schema, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_table_csv(path, Table(labelled_schema, []))
+        loaded = load_table_csv(path, labelled_schema)
+        assert loaded.num_rows == 0
+
+
+class TestLoading:
+    def test_column_order_free(self, labelled_schema, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("Score,Country,Age,Extra\n4,US,old,ignored\n")
+        loaded = load_table_csv(path, labelled_schema)
+        np.testing.assert_array_equal(loaded.rows, [[2, 0, 4]])
+
+    def test_missing_column(self, labelled_schema, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("Age,Country\nyoung,US\n")
+        with pytest.raises(SchemaError, match="missing columns"):
+            load_table_csv(path, labelled_schema)
+
+    def test_bad_value_reports_line(self, labelled_schema, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("Age,Country,Score\nyoung,US,0\nyoung,Mars,0\n")
+        with pytest.raises(SchemaError, match=":3:"):
+            load_table_csv(path, labelled_schema)
+
+    def test_out_of_range_code(self, labelled_schema, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("Age,Country,Score\n0,0,99\n")
+        with pytest.raises(SchemaError):
+            load_table_csv(path, labelled_schema)
+
+    def test_empty_file(self, labelled_schema, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty file"):
+            load_table_csv(path, labelled_schema)
+
+    def test_full_pipeline_from_csv(self, labelled_schema, tmp_path):
+        """CSV -> table -> publish -> query: the realistic ingestion path."""
+        from repro.core.privelet_plus import PriveletPlusMechanism
+        from repro.queries.workload import generate_workload
+        from repro.queries.oracle import RangeSumOracle
+
+        rng = np.random.default_rng(0)
+        rows = np.stack(
+            [rng.integers(0, a.size, 200) for a in labelled_schema], axis=1
+        )
+        path = tmp_path / "data.csv"
+        save_table_csv(path, Table(labelled_schema, rows))
+        table = load_table_csv(path, labelled_schema)
+        result = PriveletPlusMechanism(sa_names="auto").publish(table, 1.0, seed=1)
+        queries = generate_workload(labelled_schema, 20, seed=2)
+        answers = RangeSumOracle(result.matrix).answer_all(queries)
+        assert np.isfinite(answers).all()

@@ -1,0 +1,80 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.hierarchy import flat_hierarchy
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+
+def make_schema():
+    return Schema(
+        [
+            OrdinalAttribute("A", 4),
+            NominalAttribute("B", flat_hierarchy(3)),
+            OrdinalAttribute("C", 5),
+        ]
+    )
+
+
+class TestSchema:
+    def test_shape_and_cells(self):
+        schema = make_schema()
+        assert schema.shape == (4, 3, 5)
+        assert schema.num_cells == 60
+        assert schema.dimensions == 3
+
+    def test_names(self):
+        assert make_schema().names == ("A", "B", "C")
+
+    def test_index_of(self):
+        schema = make_schema()
+        assert schema.index_of("B") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("Z")
+
+    def test_axes_of(self):
+        assert make_schema().axes_of(["C", "A"]) == (2, 0)
+
+    def test_getitem_by_name_and_index(self):
+        schema = make_schema()
+        assert schema["B"].name == "B"
+        assert schema[0].name == "A"
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_iteration(self):
+        assert [a.name for a in make_schema()] == ["A", "B", "C"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([OrdinalAttribute("A", 2), OrdinalAttribute("A", 3)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_non_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["not an attribute"])
+
+    def test_validate_coordinates(self):
+        schema = make_schema()
+        schema.validate_coordinates((0, 2, 4))
+        with pytest.raises(SchemaError):
+            schema.validate_coordinates((0, 3, 0))  # B out of range
+        with pytest.raises(SchemaError):
+            schema.validate_coordinates((0, 0))  # wrong arity
+
+    def test_equality(self):
+        assert make_schema() == make_schema()
+        assert make_schema() != Schema([OrdinalAttribute("A", 4)])
+
+    def test_repr_mentions_kinds(self):
+        text = repr(make_schema())
+        assert "A[4o]" in text
+        assert "B[3n]" in text

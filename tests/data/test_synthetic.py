@@ -1,0 +1,57 @@
+"""Unit tests for the §VII-B uniform timing-dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import domain_size_for_cells, generate_uniform_table, timing_schema
+
+
+class TestDomainSizing:
+    def test_fourth_root(self):
+        assert domain_size_for_cells(2**16) == 16
+        assert domain_size_for_cells(2**20) == 32
+
+    def test_even_and_minimum(self):
+        assert domain_size_for_cells(1) == 4
+        assert domain_size_for_cells(700) % 2 == 0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            domain_size_for_cells(0)
+
+
+class TestTimingSchema:
+    def test_shape(self):
+        schema = timing_schema(16)
+        assert schema.shape == (16, 16, 16, 16)
+        assert [a.is_ordinal for a in schema] == [True, True, False, False]
+
+    def test_hierarchies_are_three_level(self):
+        """§VII-B: nominal hierarchies have 3 levels, sqrt(|A|) middle nodes."""
+        schema = timing_schema(16)
+        hierarchy = schema["N1"].hierarchy
+        assert hierarchy.height == 3
+        assert hierarchy.fanout(0) == 4  # sqrt(16)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            timing_schema(2)
+
+
+class TestGeneration:
+    def test_row_count_and_uniformity(self):
+        table = generate_uniform_table(8000, 2**16, seed=5)
+        assert table.num_rows == 8000
+        counts = np.bincount(table.rows[:, 0], minlength=16)
+        # Uniform: every value of a 16-ary attribute gets roughly n/16.
+        assert counts.min() > 8000 / 16 * 0.6
+        assert counts.max() < 8000 / 16 * 1.4
+
+    def test_matrix_cells_close_to_request(self):
+        table = generate_uniform_table(100, 2**16, seed=5)
+        assert table.schema.num_cells == 2**16
+
+    def test_deterministic(self):
+        a = generate_uniform_table(100, 2**16, seed=9)
+        b = generate_uniform_table(100, 2**16, seed=9)
+        np.testing.assert_array_equal(a.rows, b.rows)

@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.charts import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        text = ascii_chart(
+            [1, 10, 100],
+            {"Basic": [1e2, 1e3, 1e4], "Privelet+": [5e2, 6e2, 7e2]},
+        )
+        assert "o = Basic" in text
+        assert "x = Privelet+" in text
+        assert "o" in text.splitlines()[3] or any(
+            "o" in line for line in text.splitlines()
+        )
+
+    def test_monotone_series_moves_up(self):
+        text = ascii_chart([1, 10, 100], {"s": [1.0, 10.0, 100.0]}, height=10, width=30)
+        lines = [line[1:] for line in text.splitlines()[1:11]]
+        first_marker_rows = {}
+        for row_index, line in enumerate(lines):
+            for column, char in enumerate(line):
+                if char == "o":
+                    first_marker_rows[column] = row_index
+        columns = sorted(first_marker_rows)
+        rows = [first_marker_rows[c] for c in columns]
+        assert rows == sorted(rows, reverse=True)  # up and to the right
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {"s": []})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [0.0, 1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([0, 2], {"s": [1.0, 1.0]})
+
+    def test_constant_series(self):
+        text = ascii_chart([1, 10], {"flat": [5.0, 5.0]})
+        assert "flat" in text
+
+    def test_width_height_respected(self):
+        text = ascii_chart([1, 10], {"s": [1.0, 2.0]}, width=20, height=5)
+        body = text.splitlines()[1:6]
+        assert len(body) == 5
+        assert all(len(line) == 21 for line in body)  # "|" + 20 cells
+
+    def test_numpy_inputs(self):
+        text = ascii_chart(np.array([1.0, 2.0]), {"s": np.array([3.0, 4.0])})
+        assert "s" in text

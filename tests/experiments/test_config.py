@@ -1,0 +1,46 @@
+"""Unit tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_EPSILONS,
+    AccuracyConfig,
+    TimingConfig,
+    full_scale_requested,
+)
+
+
+class TestConfigs:
+    def test_paper_epsilons(self):
+        assert PAPER_EPSILONS == (0.5, 0.75, 1.0, 1.25)
+
+    def test_accuracy_defaults_are_laptop_sized(self):
+        config = AccuracyConfig()
+        assert config.scale < 1.0
+        assert config.num_rows <= 1_000_000
+        assert config.epsilons == PAPER_EPSILONS
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale_requested()
+        config = AccuracyConfig.for_environment()
+        assert config.scale == 1.0
+        assert config.num_rows == 10_000_000
+        timing = TimingConfig.for_environment()
+        assert timing.fixed_m == 2**24
+        assert timing.fixed_n == 5_000_000
+
+    def test_env_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale_requested()
+        assert AccuracyConfig.for_environment().scale < 1.0
+
+    def test_timing_defaults(self):
+        config = TimingConfig()
+        assert len(config.n_values) == 5
+        assert len(config.m_values) == 5
+        assert config.repeats >= 1
+
+    def test_configs_frozen(self):
+        with pytest.raises(Exception):
+            AccuracyConfig().scale = 0.5

@@ -1,0 +1,92 @@
+"""Integration tests for the figure drivers (small configurations)."""
+
+import pytest
+
+from repro.data.census import BRAZIL, US
+from repro.experiments.config import AccuracyConfig, TimingConfig
+from repro.experiments.figures import (
+    PAPER_SA,
+    prepare_census_experiment,
+    run_relative_error_vs_selectivity,
+    run_square_error_vs_coverage,
+    run_time_vs_m,
+    run_time_vs_n,
+)
+
+
+TINY = AccuracyConfig(scale=0.05, num_rows=8_000, num_queries=600, epsilons=(0.5, 1.25))
+
+
+@pytest.fixture(scope="module")
+def brazil_prepared():
+    return prepare_census_experiment(BRAZIL, TINY)
+
+
+class TestCensusFigures:
+    def test_paper_sa(self):
+        assert PAPER_SA == ("Age", "Gender")
+
+    def test_figure6_structure(self, brazil_prepared):
+        run = run_square_error_vs_coverage(BRAZIL, TINY, prepared=brazil_prepared)
+        assert run.dataset == "brazil"
+        assert run.metric == "square"
+        assert run.measure == "coverage"
+        assert {s.mechanism for s in run.series} == {
+            "Basic",
+            "Privelet+(SA={Age, Gender})",
+        }
+        assert {s.epsilon for s in run.series} == {0.5, 1.25}
+
+    def test_figure6_shape_basic_grows_with_coverage(self, brazil_prepared):
+        """Basic's square error rises steeply with coverage (its defining
+        failure mode); the top bucket dwarfs the bottom bucket."""
+        run = run_square_error_vs_coverage(BRAZIL, TINY, prepared=brazil_prepared)
+        for epsilon in (0.5, 1.25):
+            basic = run.series_for("Basic", epsilon)
+            assert basic.bucket_errors[-1] > basic.bucket_errors[0] * 10
+
+    def test_figure6_shape_privelet_wins_at_high_coverage(self, brazil_prepared):
+        run = run_square_error_vs_coverage(BRAZIL, TINY, prepared=brazil_prepared)
+        for epsilon in (0.5, 1.25):
+            basic = run.series_for("Basic", epsilon)
+            privelet = run.series_for("Privelet+(SA={Age, Gender})", epsilon)
+            # Top coverage quintile: Privelet+ ahead by a large factor.
+            assert privelet.bucket_errors[-1] < basic.bucket_errors[-1]
+
+    def test_figure8_structure(self, brazil_prepared):
+        run = run_relative_error_vs_selectivity(BRAZIL, TINY, prepared=brazil_prepared)
+        assert run.metric == "relative"
+        assert run.measure == "selectivity"
+        # Relative error with a sanity bound cannot blow up unboundedly;
+        # check every bucket is finite.
+        for series in run.series:
+            assert all(e < 1e6 for e in series.bucket_errors)
+
+    def test_us_dataset_runs(self):
+        config = AccuracyConfig(
+            scale=0.05, num_rows=4_000, num_queries=300, epsilons=(1.0,)
+        )
+        run = run_square_error_vs_coverage(US, config)
+        assert run.dataset == "us"
+        assert len(run.series) == 2
+
+
+class TestTimingFigures:
+    def test_figure10_structure(self):
+        config = TimingConfig(
+            n_values=(2_000, 4_000), fixed_m=2**12, m_values=(2**10,), fixed_n=2_000
+        )
+        run = run_time_vs_n(config)
+        assert run.sweep == "n"
+        assert [p.x for p in run.points] == [2_000, 4_000]
+        for point in run.points:
+            assert point.basic_seconds > 0
+            assert point.privelet_seconds > 0
+
+    def test_figure11_structure(self):
+        config = TimingConfig(
+            n_values=(2_000,), fixed_m=2**10, m_values=(2**10, 2**12), fixed_n=2_000
+        )
+        run = run_time_vs_m(config)
+        assert run.sweep == "m"
+        assert [p.x for p in run.points] == [2**10, 2**12]

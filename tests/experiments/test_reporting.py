@@ -1,0 +1,88 @@
+"""Unit tests for result rendering."""
+
+from repro.core.basic import BasicMechanism
+from repro.experiments.figures import TimingPoint, TimingRun
+from repro.experiments.reporting import format_accuracy_run, format_timing_run
+from repro.experiments.runner import run_accuracy
+from repro.queries.workload import Workload, generate_workload
+
+
+class TestAccuracyFormat:
+    def test_contains_headers_and_rows(self, mixed_table):
+        matrix = mixed_table.frequency_matrix()
+        workload = Workload.evaluate(
+            generate_workload(mixed_table.schema, 60, seed=1), matrix
+        )
+        run = run_accuracy(
+            "toy", matrix, workload, [BasicMechanism()], (0.5, 1.0), seed=2
+        )
+        text = format_accuracy_run(run)
+        assert "toy: average square error vs coverage" in text
+        assert "epsilon = 0.5" in text
+        assert "epsilon = 1" in text
+        assert "Basic" in text
+        assert "queries=60" in text
+
+    def test_custom_title(self, mixed_table):
+        matrix = mixed_table.frequency_matrix()
+        workload = Workload.evaluate(
+            generate_workload(mixed_table.schema, 20, seed=1), matrix
+        )
+        run = run_accuracy("toy", matrix, workload, [BasicMechanism()], (1.0,), seed=2)
+        assert format_accuracy_run(run, title="Figure 6").startswith("Figure 6")
+
+
+class TestChartIntegration:
+    def test_chart_appended_when_requested(self, mixed_table):
+        matrix = mixed_table.frequency_matrix()
+        workload = Workload.evaluate(
+            generate_workload(mixed_table.schema, 60, seed=3), matrix
+        )
+        run = run_accuracy("toy", matrix, workload, [BasicMechanism()], (1.0,), seed=4)
+        plain = format_accuracy_run(run)
+        charted = format_accuracy_run(run, chart=True)
+        assert "shape at epsilon" not in plain
+        assert "shape at epsilon = 1" in charted
+        assert "o = Basic" in charted
+
+    def test_chart_skipped_on_zero_errors(self, mixed_table):
+        """A mechanism with zero error in some bucket cannot be drawn on a
+        log scale; the table must still render."""
+        import numpy as np
+
+        from repro.experiments.runner import AccuracyRun, BucketedSeries
+
+        series = BucketedSeries(
+            mechanism="Perfect",
+            epsilon=1.0,
+            bucket_centers=np.array([0.1, 0.2]),
+            bucket_errors=np.array([0.0, 0.0]),
+            overall_error=0.0,
+        )
+        run = AccuracyRun(
+            dataset="toy",
+            metric="square",
+            measure="coverage",
+            series=(series,),
+            num_queries=2,
+            num_tuples=10,
+        )
+        text = format_accuracy_run(run, chart=True)
+        assert "Perfect" in text
+        assert "shape at epsilon" not in text
+
+
+class TestTimingFormat:
+    def test_rows_and_ratio(self):
+        run = TimingRun(
+            sweep="n",
+            fixed=1024,
+            points=(
+                TimingPoint(x=1000, basic_seconds=0.5, privelet_seconds=1.0),
+                TimingPoint(x=2000, basic_seconds=1.0, privelet_seconds=2.5),
+            ),
+        )
+        text = format_timing_run(run)
+        assert "computation time vs n" in text
+        assert "1000" in text
+        assert "2.50" in text  # ratio of the second row

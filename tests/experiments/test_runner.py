@@ -1,0 +1,101 @@
+"""Unit tests for the accuracy runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.basic import BasicMechanism
+from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.experiments.runner import run_accuracy, time_mechanism
+from repro.queries.workload import Workload, generate_workload
+
+
+@pytest.fixture
+def small_setup(mixed_table):
+    matrix = mixed_table.frequency_matrix()
+    queries = generate_workload(mixed_table.schema, 200, seed=1)
+    workload = Workload.evaluate(queries, matrix)
+    return matrix, workload
+
+
+class TestRunAccuracy:
+    def test_series_per_mechanism_epsilon(self, small_setup):
+        matrix, workload = small_setup
+        run = run_accuracy(
+            "toy",
+            matrix,
+            workload,
+            [BasicMechanism(), PriveletPlusMechanism(sa_names=())],
+            epsilons=(0.5, 1.0),
+            seed=2,
+        )
+        assert len(run.series) == 4
+        assert run.num_queries == 200
+        series = run.series_for("Basic", 0.5)
+        assert series.bucket_errors.shape == (5,)
+        assert np.all(series.bucket_errors >= 0)
+
+    def test_metric_and_measure_selection(self, small_setup):
+        matrix, workload = small_setup
+        run = run_accuracy(
+            "toy",
+            matrix,
+            workload,
+            [BasicMechanism()],
+            epsilons=(1.0,),
+            metric="relative",
+            measure="selectivity",
+            seed=3,
+        )
+        assert run.metric == "relative"
+        assert run.measure == "selectivity"
+        centers = run.series[0].bucket_centers
+        assert np.all(np.diff(centers) >= 0)  # quintiles are ordered
+
+    def test_unknown_metric_rejected(self, small_setup):
+        matrix, workload = small_setup
+        with pytest.raises(ValueError):
+            run_accuracy("toy", matrix, workload, [], (1.0,), metric="nope")
+        with pytest.raises(ValueError):
+            run_accuracy("toy", matrix, workload, [], (1.0,), measure="nope")
+
+    def test_missing_series_lookup(self, small_setup):
+        matrix, workload = small_setup
+        run = run_accuracy("toy", matrix, workload, [BasicMechanism()], (1.0,), seed=4)
+        with pytest.raises(KeyError):
+            run.series_for("Privelet", 1.0)
+
+    def test_error_decreases_with_epsilon(self, small_setup):
+        """Both mechanisms get more accurate as ε grows (paper: Figures
+        6-9 trend)."""
+        matrix, workload = small_setup
+        run = run_accuracy(
+            "toy",
+            matrix,
+            workload,
+            [BasicMechanism()],
+            epsilons=(0.25, 4.0),
+            seed=5,
+        )
+        loose = run.series_for("Basic", 0.25).overall_error
+        tight = run.series_for("Basic", 4.0).overall_error
+        assert tight < loose
+
+    def test_deterministic(self, small_setup):
+        matrix, workload = small_setup
+        runs = [
+            run_accuracy(
+                "toy", matrix, workload, [BasicMechanism()], (1.0,), seed=6
+            ).series[0].overall_error
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestTimeMechanism:
+    def test_returns_positive_seconds(self, mixed_table):
+        seconds = time_mechanism(BasicMechanism(), mixed_table, 1.0)
+        assert seconds > 0.0
+
+    def test_min_over_repeats(self, mixed_table):
+        seconds = time_mechanism(BasicMechanism(), mixed_table, 1.0, repeats=2)
+        assert seconds > 0.0

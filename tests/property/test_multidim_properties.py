@@ -1,0 +1,93 @@
+"""Property-based tests for the HN transform over random mixed schemas."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sensitivity import empirical_generalized_sensitivity
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.hierarchy import flat_hierarchy, two_level_hierarchy
+from repro.data.schema import Schema
+from repro.transforms.multidim import HNTransform
+
+
+@st.composite
+def random_schemas(draw, max_dimensions=3):
+    d = draw(st.integers(min_value=1, max_value=max_dimensions))
+    attributes = []
+    for i in range(d):
+        kind = draw(st.sampled_from(["ordinal", "flat", "grouped"]))
+        if kind == "ordinal":
+            attributes.append(OrdinalAttribute(f"A{i}", draw(st.integers(1, 9))))
+        elif kind == "flat":
+            attributes.append(
+                NominalAttribute(f"A{i}", flat_hierarchy(draw(st.integers(2, 7))))
+            )
+        else:
+            groups = draw(
+                st.lists(st.integers(2, 3), min_size=2, max_size=3)
+            )
+            attributes.append(NominalAttribute(f"A{i}", two_level_hierarchy(groups)))
+    return Schema(attributes)
+
+
+@st.composite
+def schema_with_sa(draw):
+    schema = draw(random_schemas())
+    sa = tuple(
+        name for name in schema.names if draw(st.booleans())
+    )
+    return schema, sa
+
+
+class TestHNProperties:
+    @given(random_schemas(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, schema, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=schema.shape)
+        hn = HNTransform(schema)
+        np.testing.assert_allclose(hn.inverse(hn.forward(values)), values, atol=1e-7)
+
+    @given(schema_with_sa(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_with_sa(self, schema_sa, seed):
+        schema, sa = schema_sa
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=schema.shape)
+        hn = HNTransform(schema, sa_names=sa)
+        np.testing.assert_allclose(hn.inverse(hn.forward(values)), values, atol=1e-7)
+
+    @given(random_schemas(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, schema, seed):
+        """Proposition 1 over random schemas."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=schema.shape)
+        b = rng.normal(size=schema.shape)
+        hn = HNTransform(schema)
+        np.testing.assert_allclose(
+            hn.forward(a + b), hn.forward(a) + hn.forward(b), atol=1e-7
+        )
+
+    @given(schema_with_sa())
+    @settings(max_examples=25, deadline=None)
+    def test_theorem2_exact(self, schema_sa):
+        """Closed-form generalized sensitivity == measured, any schema/SA."""
+        schema, sa = schema_sa
+        if schema.num_cells > 600:
+            return  # keep the exhaustive probe fast
+        hn = HNTransform(schema, sa_names=sa)
+        measured = empirical_generalized_sensitivity(hn)
+        assert abs(measured - hn.generalized_sensitivity()) < 1e-7 * max(
+            1.0, hn.generalized_sensitivity()
+        )
+
+    @given(random_schemas())
+    @settings(max_examples=40, deadline=None)
+    def test_output_shape_consistency(self, schema):
+        hn = HNTransform(schema)
+        assert len(hn.output_shape) == schema.dimensions
+        for vector, length in zip(hn.weight_vectors(), hn.output_shape):
+            assert len(vector) == length
+            assert np.all(vector > 0)

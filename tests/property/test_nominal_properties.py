@@ -1,0 +1,108 @@
+"""Property-based tests for the nominal transform over random hierarchies."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.hierarchy import Hierarchy, Node
+from repro.transforms.nominal import NominalTransform
+from repro.transforms.tree import nominal_forward_reference, nominal_reconstruct_entry
+
+
+@st.composite
+def random_hierarchies(draw, max_depth=3, max_fanout=4):
+    """Random legal hierarchies: every internal node has 2..max_fanout
+    children; subtrees stop at ``max_depth``."""
+    counter = [0]
+
+    def build(node: Node, depth: int):
+        fanout = draw(st.integers(min_value=2, max_value=max_fanout))
+        for _ in range(fanout):
+            go_deeper = depth < max_depth and draw(st.booleans())
+            if go_deeper:
+                build(node.add(f"n{counter[0]}"), depth + 1)
+            else:
+                node.add(f"v{counter[0]}")
+            counter[0] += 1
+
+    root = Node("Any")
+    build(root, 1)
+    return Hierarchy(root)
+
+
+class TestNominalProperties:
+    @given(random_hierarchies(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, hierarchy, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=hierarchy.num_leaves)
+        transform = NominalTransform(hierarchy)
+        np.testing.assert_allclose(
+            transform.inverse(transform.forward(values)), values, atol=1e-8
+        )
+
+    @given(random_hierarchies(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference(self, hierarchy, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=hierarchy.num_leaves)
+        np.testing.assert_allclose(
+            NominalTransform(hierarchy).forward(values),
+            nominal_forward_reference(values, hierarchy),
+            atol=1e-8,
+        )
+
+    @given(random_hierarchies(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_equation5_entrywise(self, hierarchy, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=hierarchy.num_leaves)
+        coefficients = NominalTransform(hierarchy).forward(values)
+        leaf = int(rng.integers(0, hierarchy.num_leaves))
+        assert abs(
+            nominal_reconstruct_entry(coefficients, hierarchy, leaf) - values[leaf]
+        ) < 1e-8
+
+    @given(random_hierarchies(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_sibling_groups_sum_to_zero(self, hierarchy, seed):
+        rng = np.random.default_rng(seed)
+        coefficients = NominalTransform(hierarchy).forward(
+            rng.normal(size=hierarchy.num_leaves)
+        )
+        for group in hierarchy.sibling_groups():
+            assert abs(float(coefficients[group].sum())) < 1e-8
+
+    @given(random_hierarchies())
+    @settings(max_examples=40, deadline=None)
+    def test_sensitivity_bounded_by_height(self, hierarchy):
+        """Lemma 4: weighted L1 change per unit cell change <= h, with
+        equality for some leaf."""
+        transform = NominalTransform(hierarchy)
+        weights = transform.weight_vector()
+        worst = 0.0
+        for leaf in range(hierarchy.num_leaves):
+            bump = np.zeros(hierarchy.num_leaves)
+            bump[leaf] = 1.0
+            weighted = float(np.abs(transform.forward(bump) * weights).sum())
+            assert weighted <= hierarchy.height + 1e-9
+            worst = max(worst, weighted)
+        assert abs(worst - hierarchy.height) < 1e-9
+
+    @given(random_hierarchies(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_refinement_idempotent_and_data_free(self, hierarchy, seed):
+        rng = np.random.default_rng(seed)
+        transform = NominalTransform(hierarchy)
+        noisy = rng.normal(size=hierarchy.num_nodes)
+        once = transform.refine(noisy)
+        np.testing.assert_allclose(transform.refine(once), once, atol=1e-10)
+
+    @given(random_hierarchies())
+    @settings(max_examples=40, deadline=None)
+    def test_overcompleteness_count(self, hierarchy):
+        transform = NominalTransform(hierarchy)
+        assert (
+            transform.output_length - transform.input_length
+            == hierarchy.num_internal_nodes
+        )

@@ -1,0 +1,58 @@
+"""Property-based tests: prefix-sum oracle vs brute-force summation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.attributes import OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.schema import Schema
+from repro.queries.oracle import RangeSumOracle
+
+
+@st.composite
+def matrix_and_box(draw):
+    d = draw(st.integers(min_value=1, max_value=4))
+    shape = tuple(draw(st.integers(1, 6)) for _ in range(d))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-5, 10, size=shape).astype(float)
+    box = []
+    for size in shape:
+        lo = draw(st.integers(0, size))
+        hi = draw(st.integers(lo, size))
+        box.append((lo, hi))
+    return shape, values, box
+
+
+class TestOracleProperties:
+    @given(matrix_and_box())
+    @settings(max_examples=120, deadline=None)
+    def test_box_sum_matches_slice_sum(self, case):
+        shape, values, box = case
+        schema = Schema(
+            [OrdinalAttribute(f"A{i}", s) for i, s in enumerate(shape)]
+        )
+        matrix = FrequencyMatrix(schema, values)
+        oracle = RangeSumOracle(matrix)
+        slices = tuple(slice(lo, hi) for lo, hi in box)
+        expected = float(values[slices].sum())
+        assert abs(oracle.box_sum(box) - expected) < 1e-6
+
+    @given(matrix_and_box())
+    @settings(max_examples=60, deadline=None)
+    def test_additivity_on_split_boxes(self, case):
+        """Splitting a box along its first axis preserves the total."""
+        shape, values, box = case
+        schema = Schema(
+            [OrdinalAttribute(f"A{i}", s) for i, s in enumerate(shape)]
+        )
+        oracle = RangeSumOracle(FrequencyMatrix(schema, values))
+        (lo, hi), rest = box[0], box[1:]
+        if hi - lo < 2:
+            return
+        mid = (lo + hi) // 2
+        left = oracle.box_sum([(lo, mid)] + rest)
+        right = oracle.box_sum([(mid, hi)] + rest)
+        whole = oracle.box_sum(box)
+        assert abs(left + right - whole) < 1e-6

@@ -1,0 +1,112 @@
+"""Property-based tests for persistence, loaders, and post-processing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.postprocess import clamp_nonnegative, round_to_integers, sanitize
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.hierarchy import flat_hierarchy
+from repro.data.loaders import load_table_csv, save_table_csv
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.io import schema_from_dict, schema_to_dict
+
+finite_counts = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def small_schemas(draw):
+    d = draw(st.integers(1, 3))
+    attributes = []
+    for i in range(d):
+        if draw(st.booleans()):
+            attributes.append(OrdinalAttribute(f"A{i}", draw(st.integers(1, 6))))
+        else:
+            attributes.append(
+                NominalAttribute(f"A{i}", flat_hierarchy(draw(st.integers(2, 6))))
+            )
+    return Schema(attributes)
+
+
+@st.composite
+def schema_and_rows(draw):
+    schema = draw(small_schemas())
+    n = draw(st.integers(0, 30))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    rows = (
+        np.stack([rng.integers(0, a.size, n) for a in schema], axis=1)
+        if n
+        else np.empty((0, len(schema)), dtype=np.int64)
+    )
+    return schema, rows
+
+
+class TestSchemaSerialization:
+    @given(small_schemas())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_shape_and_kinds(self, schema):
+        rebuilt = schema_from_dict(schema_to_dict(schema))
+        assert rebuilt.shape == schema.shape
+        assert rebuilt.names == schema.names
+        assert [a.is_ordinal for a in rebuilt] == [a.is_ordinal for a in schema]
+
+
+class TestCsvRoundTrip:
+    @given(case=schema_and_rows())
+    @settings(max_examples=40, deadline=None)
+    def test_row_level_identity(self, tmp_path_factory, case):
+        schema, rows = case
+        table = Table(schema, rows)
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        save_table_csv(path, table)
+        loaded = load_table_csv(path, schema)
+        np.testing.assert_array_equal(loaded.rows, table.rows)
+
+    @given(case=schema_and_rows())
+    @settings(max_examples=25, deadline=None)
+    def test_frequency_matrix_identity(self, tmp_path_factory, case):
+        schema, rows = case
+        table = Table(schema, rows)
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        save_table_csv(path, table, use_labels=False)
+        loaded = load_table_csv(path, schema)
+        np.testing.assert_array_equal(
+            loaded.frequency_matrix().values, table.frequency_matrix().values
+        )
+
+
+class TestPostprocessProperties:
+    @given(small_schemas(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_clamp_idempotent_and_nonnegative(self, schema, seed):
+        rng = np.random.default_rng(seed)
+        matrix = FrequencyMatrix(schema, rng.normal(size=schema.shape))
+        once = clamp_nonnegative(matrix)
+        assert once.values.min() >= 0
+        np.testing.assert_array_equal(clamp_nonnegative(once).values, once.values)
+
+    @given(small_schemas(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_round_idempotent(self, schema, seed):
+        rng = np.random.default_rng(seed)
+        matrix = FrequencyMatrix(schema, rng.normal(size=schema.shape) * 5)
+        once = round_to_integers(matrix)
+        np.testing.assert_array_equal(round_to_integers(once).values, once.values)
+
+    @given(small_schemas(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_sanitize_never_increases_l1_to_truth_on_nonnegative_truth(
+        self, schema, seed
+    ):
+        """Clamping moves noisy values toward any non-negative truth:
+        projection onto a convex set containing the truth is contractive."""
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 5, size=schema.shape).astype(float)
+        noisy = FrequencyMatrix(schema, truth + rng.normal(size=schema.shape))
+        clamped = sanitize(noisy, nonnegative=True)
+        before = np.abs(noisy.values - truth).sum()
+        after = np.abs(clamped.values - truth).sum()
+        assert after <= before + 1e-9

@@ -1,0 +1,139 @@
+"""Tests for the QueryEngine (answers + exact uncertainty)."""
+
+import numpy as np
+import pytest
+
+from repro.core.basic import BasicMechanism
+from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.errors import QueryError
+from repro.queries.engine import QueryAnswer, QueryEngine, _gaussian_quantile
+from repro.queries.predicate import interval_predicate
+from repro.queries.query import RangeCountQuery
+from repro.queries.workload import generate_workload
+
+
+@pytest.fixture
+def published(mixed_table):
+    return PriveletPlusMechanism(sa_names=("X",)).publish(mixed_table, 1.0, seed=5)
+
+
+class TestGaussianQuantile:
+    @pytest.mark.parametrize("p,expected", [(0.5, 0.0), (0.975, 1.959964), (0.025, -1.959964)])
+    def test_known_values(self, p, expected):
+        assert _gaussian_quantile(p) == pytest.approx(expected, abs=1e-5)
+
+    def test_symmetry(self):
+        assert _gaussian_quantile(0.9) == pytest.approx(-_gaussian_quantile(0.1), abs=1e-9)
+
+    def test_bounds(self):
+        with pytest.raises(QueryError):
+            _gaussian_quantile(0.0)
+
+
+class TestEngine:
+    def test_answers_match_oracle(self, published, mixed_table):
+        from repro.queries.oracle import RangeSumOracle
+
+        engine = QueryEngine(published)
+        queries = generate_workload(mixed_table.schema, 50, seed=6)
+        np.testing.assert_allclose(
+            engine.answer_all(queries),
+            RangeSumOracle(published.matrix).answer_all(queries),
+        )
+
+    def test_variance_below_published_bound(self, published, mixed_table):
+        engine = QueryEngine(published)
+        for query in generate_workload(mixed_table.schema, 50, seed=7):
+            assert engine.noise_variance(query) <= published.variance_bound * (1 + 1e-9)
+
+    def test_basic_result_inferred(self, mixed_table):
+        result = BasicMechanism().publish(mixed_table, 1.0, seed=8)
+        engine = QueryEngine(result)
+        query = RangeCountQuery(mixed_table.schema)
+        # Basic, full coverage: variance = m * 8 / eps^2 exactly.
+        assert engine.noise_variance(query) == pytest.approx(
+            8.0 * mixed_table.schema.num_cells
+        )
+
+    def test_unknown_configuration_rejected(self, published):
+        from dataclasses import replace
+
+        stripped = replace(published, details={})
+        with pytest.raises(QueryError):
+            QueryEngine(stripped)
+        # Explicit override works.
+        QueryEngine(stripped, sa_names=("X",))
+
+    def test_interval_contains_estimate(self, published, mixed_table):
+        engine = QueryEngine(published)
+        query = generate_workload(mixed_table.schema, 1, seed=9)[0]
+        answer = engine.answer_with_interval(query, confidence=0.9)
+        assert isinstance(answer, QueryAnswer)
+        assert answer.lower <= answer.estimate <= answer.upper
+        assert answer.noise_std > 0
+        assert answer.confidence == 0.9
+
+    def test_interval_widens_with_confidence(self, published, mixed_table):
+        engine = QueryEngine(published)
+        query = generate_workload(mixed_table.schema, 1, seed=10)[0]
+        narrow = engine.answer_with_interval(query, confidence=0.8)
+        wide = engine.answer_with_interval(query, confidence=0.99)
+        assert (wide.upper - wide.lower) > (narrow.upper - narrow.lower)
+
+    def test_interval_coverage_monte_carlo(self, mixed_table):
+        """Across repeated publishes, the 90% interval covers the exact
+        answer ~90% of the time (within sampling slack)."""
+        schema = mixed_table.schema
+        exact_matrix = mixed_table.frequency_matrix()
+        query = RangeCountQuery(
+            schema, (interval_predicate(schema["X"], 1, 3),)
+        )
+        exact = query.evaluate(exact_matrix)
+        mechanism = PriveletPlusMechanism(sa_names=("X",))
+        covered = 0
+        reps = 400
+        for seed in range(reps):
+            result = mechanism.publish_matrix(exact_matrix, 1.0, seed=seed)
+            answer = QueryEngine(result).answer_with_interval(query, confidence=0.9)
+            covered += answer.lower <= exact <= answer.upper
+        assert covered / reps >= 0.85
+
+    def test_confidence_bounds_validated(self, published, mixed_table):
+        engine = QueryEngine(published)
+        query = RangeCountQuery(mixed_table.schema)
+        with pytest.raises(QueryError):
+            engine.answer_with_interval(query, confidence=1.0)
+
+
+class TestMarginals:
+    def test_values_match_matrix_marginal(self, published):
+        engine = QueryEngine(published)
+        values, stds = engine.marginal_with_std(["X", "Y"])
+        np.testing.assert_allclose(
+            values, published.matrix.marginal(["X", "Y"])
+        )
+        assert stds.shape == values.shape
+        assert np.all(stds > 0)
+
+    def test_stds_match_query_variances(self, published, mixed_table):
+        """Every marginal cell's std^2 equals the exact variance of the
+        corresponding range-count query."""
+        engine = QueryEngine(published)
+        schema = mixed_table.schema
+        _, stds = engine.marginal_with_std(["X"])
+        for i in range(schema["X"].size):
+            query = RangeCountQuery(
+                schema, (interval_predicate(schema["X"], i, i),)
+            )
+            assert stds[i] ** 2 == pytest.approx(engine.noise_variance(query))
+
+    def test_axis_order_follows_request(self, published):
+        engine = QueryEngine(published)
+        values_xy, stds_xy = engine.marginal_with_std(["X", "Y"])
+        values_yx, stds_yx = engine.marginal_with_std(["Y", "X"])
+        np.testing.assert_allclose(values_yx, values_xy.T)
+        np.testing.assert_allclose(stds_yx, stds_xy.T)
+
+    def test_duplicates_rejected(self, published):
+        with pytest.raises(QueryError):
+            QueryEngine(published).marginal_with_std(["X", "X"])

@@ -1,0 +1,64 @@
+"""Unit tests for the error metrics (§VII-A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.error import (
+    DEFAULT_SANITY_FRACTION,
+    relative_error,
+    sanity_bound,
+    square_error,
+)
+
+
+class TestSquareError:
+    def test_values(self):
+        np.testing.assert_array_equal(
+            square_error([3.0, -1.0], [1.0, 1.0]), [4.0, 4.0]
+        )
+
+    def test_zero_for_exact(self):
+        np.testing.assert_array_equal(square_error([5.0], [5.0]), [0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(QueryError):
+            square_error([1.0, 2.0], [1.0])
+
+
+class TestSanityBound:
+    def test_paper_default(self):
+        """s = 0.1% of tuples: 10M tuples -> 10 000."""
+        assert DEFAULT_SANITY_FRACTION == 0.001
+        assert sanity_bound(10_000_000) == 10_000.0
+
+    def test_rejects_negative_tuples(self):
+        with pytest.raises(QueryError):
+            sanity_bound(-1)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            sanity_bound(100, fraction=0.0)
+
+
+class TestRelativeError:
+    def test_large_exact_uses_act(self):
+        errors = relative_error([110.0], [100.0], sanity=10.0)
+        np.testing.assert_allclose(errors, [0.1])
+
+    def test_small_exact_uses_sanity(self):
+        """Queries with tiny answers are damped by s."""
+        errors = relative_error([6.0], [1.0], sanity=10.0)
+        np.testing.assert_allclose(errors, [0.5])
+
+    def test_zero_exact_safe(self):
+        errors = relative_error([5.0], [0.0], sanity=10.0)
+        np.testing.assert_allclose(errors, [0.5])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(QueryError):
+            relative_error([1.0], [1.0, 2.0], sanity=1.0)
+
+    def test_requires_positive_sanity(self):
+        with pytest.raises(ValueError):
+            relative_error([1.0], [1.0], sanity=0.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the prefix-sum range oracle."""
+
+import numpy as np
+import pytest
+
+from repro.data.attributes import OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.schema import Schema
+from repro.errors import QueryError
+from repro.queries.oracle import RangeSumOracle
+from repro.queries.query import RangeCountQuery
+from repro.queries.predicate import interval_predicate
+from repro.queries.workload import generate_workload
+
+
+def random_matrix(shape, rng):
+    names = "ABCDEFG"
+    schema = Schema([OrdinalAttribute(names[i], s) for i, s in enumerate(shape)])
+    return FrequencyMatrix(schema, rng.normal(size=shape))
+
+
+class TestBoxSums:
+    @pytest.mark.parametrize("shape", [(7,), (4, 6), (3, 4, 5), (2, 3, 2, 4)])
+    def test_matches_brute_force(self, shape, rng):
+        matrix = random_matrix(shape, rng)
+        oracle = RangeSumOracle(matrix)
+        for _ in range(50):
+            box = []
+            for size in shape:
+                lo, hi = sorted(rng.integers(0, size + 1, size=2).tolist())
+                box.append((lo, hi))
+            assert oracle.box_sum(box) == pytest.approx(
+                matrix.range_sum(box), abs=1e-9
+            )
+
+    def test_empty_box(self, rng):
+        matrix = random_matrix((5, 5), rng)
+        oracle = RangeSumOracle(matrix)
+        assert oracle.box_sum([(2, 2), (0, 5)]) == 0.0
+
+    def test_full_box(self, rng):
+        matrix = random_matrix((5, 5), rng)
+        oracle = RangeSumOracle(matrix)
+        assert oracle.box_sum([(0, 5), (0, 5)]) == pytest.approx(matrix.total)
+
+    def test_bounds_validated(self, rng):
+        oracle = RangeSumOracle(random_matrix((5,), rng))
+        with pytest.raises(QueryError):
+            oracle.box_sum([(0, 6)])
+        with pytest.raises(QueryError):
+            oracle.box_sum([(0, 5), (0, 5)])
+
+
+class TestQueryAnswering:
+    def test_answer_matches_evaluate(self, mixed_table, rng):
+        matrix = mixed_table.frequency_matrix()
+        oracle = RangeSumOracle(matrix)
+        queries = generate_workload(mixed_table.schema, 100, seed=rng)
+        for query in queries:
+            assert oracle.answer(query) == pytest.approx(query.evaluate(matrix))
+
+    def test_answer_all_matches_loop(self, mixed_table):
+        matrix = mixed_table.frequency_matrix()
+        oracle = RangeSumOracle(matrix)
+        queries = generate_workload(mixed_table.schema, 200, seed=0)
+        bulk = oracle.answer_all(queries)
+        singles = np.array([oracle.answer(q) for q in queries])
+        np.testing.assert_allclose(bulk, singles, atol=1e-9)
+
+    def test_answer_all_empty(self, mixed_table):
+        oracle = RangeSumOracle(mixed_table.frequency_matrix())
+        assert oracle.answer_all([]).shape == (0,)
+
+    def test_schema_mismatch_rejected(self, mixed_table, rng):
+        oracle = RangeSumOracle(random_matrix((4, 4), rng))
+        query = RangeCountQuery(mixed_table.schema)
+        with pytest.raises(QueryError):
+            oracle.answer(query)
+        with pytest.raises(QueryError):
+            oracle.answer_all([query])
+
+    def test_single_predicate_1d(self, rng):
+        schema = Schema([OrdinalAttribute("A", 12)])
+        values = rng.integers(0, 9, size=12).astype(float)
+        matrix = FrequencyMatrix(schema, values)
+        oracle = RangeSumOracle(matrix)
+        query = RangeCountQuery(schema, (interval_predicate(schema["A"], 3, 7),))
+        assert oracle.answer(query) == pytest.approx(values[3:8].sum())

@@ -1,0 +1,86 @@
+"""Unit tests for query predicates."""
+
+import pytest
+
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.errors import QueryError
+from repro.queries.predicate import (
+    Predicate,
+    full_range_predicate,
+    hierarchy_predicate,
+    interval_predicate,
+)
+
+
+class TestIntervalPredicate:
+    def test_inclusive_endpoints(self):
+        attr = OrdinalAttribute("A", 10)
+        predicate = interval_predicate(attr, 2, 5)
+        assert (predicate.lo, predicate.hi) == (2, 6)  # stored half-open
+        assert predicate.width == 4
+
+    def test_single_value(self):
+        predicate = interval_predicate(OrdinalAttribute("A", 10), 7, 7)
+        assert predicate.width == 1
+        assert predicate.covers(7)
+        assert not predicate.covers(8)
+
+    def test_bounds_checked(self):
+        attr = OrdinalAttribute("A", 10)
+        with pytest.raises(QueryError):
+            interval_predicate(attr, -1, 3)
+        with pytest.raises(QueryError):
+            interval_predicate(attr, 3, 10)
+        with pytest.raises(QueryError):
+            interval_predicate(attr, 5, 3)
+
+    def test_requires_ordinal(self, figure3_hierarchy):
+        nominal = NominalAttribute("B", figure3_hierarchy)
+        with pytest.raises(QueryError):
+            interval_predicate(nominal, 0, 1)
+
+
+class TestHierarchyPredicate:
+    def test_internal_node_selects_subtree(self, figure3_hierarchy):
+        attr = NominalAttribute("B", figure3_hierarchy)
+        predicate = hierarchy_predicate(attr, 1)  # node "L"
+        assert (predicate.lo, predicate.hi) == (0, 3)
+        assert predicate.node_id == 1
+
+    def test_leaf_selects_one_value(self, figure3_hierarchy):
+        attr = NominalAttribute("B", figure3_hierarchy)
+        leaf = figure3_hierarchy.find("v5")
+        predicate = hierarchy_predicate(attr, leaf)
+        assert predicate.width == 1
+
+    def test_root_rejected(self, figure3_hierarchy):
+        attr = NominalAttribute("B", figure3_hierarchy)
+        with pytest.raises(QueryError):
+            hierarchy_predicate(attr, 0)
+
+    def test_bounds_checked(self, figure3_hierarchy):
+        attr = NominalAttribute("B", figure3_hierarchy)
+        with pytest.raises(QueryError):
+            hierarchy_predicate(attr, 99)
+
+    def test_requires_nominal(self):
+        with pytest.raises(QueryError):
+            hierarchy_predicate(OrdinalAttribute("A", 4), 1)
+
+
+class TestPredicateBasics:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(QueryError):
+            Predicate("A", 3, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(QueryError):
+            Predicate("A", -1, 2)
+
+    def test_full_range(self):
+        predicate = full_range_predicate(OrdinalAttribute("A", 6))
+        assert (predicate.lo, predicate.hi) == (0, 6)
+
+    def test_repr(self, figure3_hierarchy):
+        attr = NominalAttribute("B", figure3_hierarchy)
+        assert "node=1" in repr(hierarchy_predicate(attr, 1))

@@ -1,0 +1,80 @@
+"""Unit tests for RangeCountQuery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.predicate import Predicate, hierarchy_predicate, interval_predicate
+from repro.queries.query import RangeCountQuery
+
+
+class TestQueryConstruction:
+    def test_no_predicates_selects_everything(self, mixed_schema, mixed_table):
+        query = RangeCountQuery(mixed_schema)
+        assert query.coverage() == 1.0
+        matrix = mixed_table.frequency_matrix()
+        assert query.evaluate(matrix) == mixed_table.num_rows
+
+    def test_duplicate_attribute_rejected(self, mixed_schema):
+        p1 = interval_predicate(mixed_schema["X"], 0, 1)
+        p2 = interval_predicate(mixed_schema["X"], 2, 3)
+        with pytest.raises(QueryError):
+            RangeCountQuery(mixed_schema, (p1, p2))
+
+    def test_oversized_predicate_rejected(self, mixed_schema):
+        bad = Predicate("X", 0, 99)
+        with pytest.raises(QueryError):
+            RangeCountQuery(mixed_schema, (bad,))
+
+    def test_unknown_attribute_rejected(self, mixed_schema):
+        with pytest.raises(QueryError):
+            RangeCountQuery(mixed_schema, (Predicate("Nope", 0, 1),))
+
+
+class TestEvaluation:
+    def test_box_defaults_to_full_ranges(self, mixed_schema):
+        predicate = interval_predicate(mixed_schema["X"], 1, 2)
+        query = RangeCountQuery(mixed_schema, (predicate,))
+        assert query.box() == ((1, 3), (0, 6), (0, 4))
+
+    def test_coverage(self, mixed_schema):
+        predicate = interval_predicate(mixed_schema["X"], 0, 1)  # 2 of 5
+        query = RangeCountQuery(mixed_schema, (predicate,))
+        assert query.coverage() == pytest.approx(2.0 / 5.0)
+
+    def test_matrix_vs_rows_agree(self, mixed_schema, mixed_table, rng):
+        matrix = mixed_table.frequency_matrix()
+        for _ in range(25):
+            lo, hi = sorted(rng.integers(0, 5, size=2).tolist())
+            node = int(rng.integers(1, mixed_schema["G"].hierarchy.num_nodes))
+            query = RangeCountQuery(
+                mixed_schema,
+                (
+                    interval_predicate(mixed_schema["X"], lo, hi),
+                    hierarchy_predicate(mixed_schema["G"], node),
+                ),
+            )
+            assert query.evaluate(matrix) == query.evaluate_rows(mixed_table.rows)
+
+    def test_evaluate_shape_mismatch(self, mixed_schema):
+        from repro.data.attributes import OrdinalAttribute
+        from repro.data.frequency import FrequencyMatrix
+        from repro.data.schema import Schema
+
+        other = FrequencyMatrix.zeros(Schema([OrdinalAttribute("Z", 3)]))
+        with pytest.raises(QueryError):
+            RangeCountQuery(mixed_schema).evaluate(other)
+
+    def test_evaluate_rows_shape_check(self, mixed_schema):
+        with pytest.raises(QueryError):
+            RangeCountQuery(mixed_schema).evaluate_rows(np.zeros((4, 2), dtype=int))
+
+    def test_nominal_predicate_counts_subtree(self, mixed_schema, mixed_table):
+        hierarchy = mixed_schema["G"].hierarchy
+        group = hierarchy_predicate(mixed_schema["G"], 1)
+        query = RangeCountQuery(mixed_schema, (group,))
+        expected = int(np.isin(mixed_table.rows[:, 1], [0, 1, 2]).sum())
+        assert query.evaluate(mixed_table.frequency_matrix()) == expected
+
+    def test_repr(self, mixed_schema):
+        assert "<all>" in repr(RangeCountQuery(mixed_schema))

@@ -1,0 +1,101 @@
+"""Unit tests for the §VII-A workload generator and bucketing."""
+
+import numpy as np
+import pytest
+
+from repro.data.census import BRAZIL, census_schema
+from repro.errors import QueryError
+from repro.queries.workload import Workload, generate_workload, quintile_buckets
+
+
+class TestGeneration:
+    def test_count_and_determinism(self, mixed_schema):
+        a = generate_workload(mixed_schema, 50, seed=1)
+        b = generate_workload(mixed_schema, 50, seed=1)
+        assert len(a) == 50
+        assert [q.box() for q in a] == [q.box() for q in b]
+
+    def test_predicate_count_in_range(self, mixed_schema):
+        queries = generate_workload(mixed_schema, 300, max_predicates=2, seed=2)
+        counts = {q.num_predicates for q in queries}
+        assert counts <= {1, 2}
+        assert counts == {1, 2}  # both occur across 300 draws
+
+    def test_max_predicates_capped_at_d(self, mixed_schema):
+        queries = generate_workload(mixed_schema, 100, max_predicates=99, seed=3)
+        assert max(q.num_predicates for q in queries) <= mixed_schema.dimensions
+
+    def test_attributes_distinct_within_query(self, mixed_schema):
+        for query in generate_workload(mixed_schema, 200, seed=4):
+            names = [p.attribute_name for p in query.predicates]
+            assert len(names) == len(set(names))
+
+    def test_nominal_predicates_come_from_hierarchy(self, mixed_schema):
+        for query in generate_workload(mixed_schema, 200, seed=5):
+            for predicate in query.predicates:
+                if predicate.attribute_name == "G":
+                    assert predicate.node_id is not None
+                    assert predicate.node_id >= 1
+
+    def test_census_workload_paper_recipe(self):
+        """On the 4-attribute census schema: 1..4 predicates per query."""
+        schema = census_schema(BRAZIL.scaled(0.05))
+        queries = generate_workload(schema, 500, max_predicates=4, seed=6)
+        counts = np.array([q.num_predicates for q in queries])
+        assert counts.min() >= 1
+        assert counts.max() == 4
+        # Roughly uniform over [1, 4].
+        for k in range(1, 5):
+            assert (counts == k).mean() > 0.1
+
+    def test_rejects_bad_args(self, mixed_schema):
+        with pytest.raises(ValueError):
+            generate_workload(mixed_schema, 0)
+        with pytest.raises(QueryError):
+            generate_workload(mixed_schema, 5, max_predicates=0)
+
+
+class TestWorkloadEvaluation:
+    def test_exact_answers_and_selectivity(self, mixed_table):
+        matrix = mixed_table.frequency_matrix()
+        queries = generate_workload(mixed_table.schema, 100, seed=7)
+        workload = Workload.evaluate(queries, matrix)
+        assert len(workload) == 100
+        # Selectivity = exact / n.
+        np.testing.assert_allclose(
+            workload.selectivities, workload.exact_answers / mixed_table.num_rows
+        )
+        assert np.all(workload.coverages > 0)
+        assert np.all(workload.coverages <= 1)
+
+    def test_empty_table_selectivity_zero(self, mixed_schema):
+        from repro.data.table import Table
+
+        matrix = Table(mixed_schema, []).frequency_matrix()
+        queries = generate_workload(mixed_schema, 10, seed=8)
+        workload = Workload.evaluate(queries, matrix)
+        np.testing.assert_array_equal(workload.selectivities, 0.0)
+
+
+class TestQuintileBuckets:
+    def test_partition(self, rng):
+        values = rng.normal(size=103)
+        buckets = quintile_buckets(values, 5)
+        indexes = np.concatenate(buckets)
+        assert sorted(indexes.tolist()) == list(range(103))
+
+    def test_ordering_between_buckets(self, rng):
+        values = rng.normal(size=100)
+        buckets = quintile_buckets(values, 5)
+        maxima = [values[b].max() for b in buckets[:-1]]
+        minima = [values[b].min() for b in buckets[1:]]
+        for high, low in zip(maxima, minima):
+            assert high <= low
+
+    def test_bucket_sizes_balanced(self, rng):
+        buckets = quintile_buckets(rng.normal(size=100), 5)
+        assert [len(b) for b in buckets] == [20] * 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryError):
+            quintile_buckets(np.array([]))

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_result
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_account_defaults(self):
+        args = build_parser().parse_args(["account"])
+        assert args.dataset == "brazil"
+        assert args.epsilon == 1.0
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_account_output(self, capsys):
+        assert main(["account", "--dataset", "brazil", "--scale", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Age" in out
+        assert "Privelet+" in out
+        assert "variance bound" in out
+
+    def test_account_matches_paper_sa(self, capsys):
+        main(["account", "--dataset", "brazil"])
+        out = capsys.readouterr().out
+        assert "'Age'" in out and "'Gender'" in out
+
+    def test_figure_accuracy_small(self, capsys):
+        code = main(
+            [
+                "figure",
+                "fig6",
+                "--scale",
+                "0.05",
+                "--rows",
+                "3000",
+                "--queries",
+                "400",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epsilon = 0.5" in out
+        assert "Basic" in out
+
+    def test_publish_round_trip(self, tmp_path, capsys):
+        output = tmp_path / "release.npz"
+        code = main(
+            [
+                "publish",
+                str(output),
+                "--scale",
+                "0.05",
+                "--rows",
+                "2000",
+                "--epsilon",
+                "1.0",
+                "--mechanism",
+                "privelet+",
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        result = load_result(output)
+        assert result.epsilon == 1.0
+        assert result.matrix.total == pytest.approx(2000, abs=600)
+        assert np.isfinite(result.matrix.values).all()
+
+    def test_publish_basic(self, tmp_path):
+        output = tmp_path / "basic.npz"
+        assert (
+            main(
+                [
+                    "publish",
+                    str(output),
+                    "--mechanism",
+                    "basic",
+                    "--scale",
+                    "0.05",
+                    "--rows",
+                    "1000",
+                ]
+            )
+            == 0
+        )
+        assert load_result(output).noise_magnitude == 2.0

@@ -1,0 +1,164 @@
+"""End-to-end integration tests across the full pipeline.
+
+These exercise the complete paper workflow — table -> frequency matrix
+-> mechanism -> noisy matrix -> workload evaluation -> error metrics —
+at small scale, asserting the qualitative results of §VII.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BRAZIL,
+    BasicMechanism,
+    PriveletMechanism,
+    PriveletPlusMechanism,
+    RangeSumOracle,
+    Workload,
+    generate_census_table,
+    generate_workload,
+    relative_error,
+    sanity_bound,
+    select_sa,
+    square_error,
+)
+
+
+@pytest.fixture(scope="module")
+def census_setup():
+    spec = BRAZIL.scaled(0.05)
+    table = generate_census_table(spec, 20_000, seed=100)
+    matrix = table.frequency_matrix()
+    queries = generate_workload(table.schema, 2_000, max_predicates=4, seed=101)
+    workload = Workload.evaluate(queries, matrix)
+    return table, matrix, workload
+
+
+class TestEndToEnd:
+    def test_privelet_plus_beats_basic_on_wide_queries(self, census_setup):
+        """The paper's headline: for high-coverage queries Privelet+ wins
+        by orders of magnitude (Figures 6-7)."""
+        table, matrix, workload = census_setup
+        epsilon = 1.0
+        sa = select_sa(table.schema)
+
+        basic = BasicMechanism().publish_matrix(matrix, epsilon, seed=1)
+        plus = PriveletPlusMechanism(sa_names=sa).publish_matrix(matrix, epsilon, seed=2)
+
+        wide = workload.coverages > np.quantile(workload.coverages, 0.8)
+        queries = [q for q, w in zip(workload.queries, wide) if w]
+        exact = workload.exact_answers[wide]
+
+        basic_err = square_error(RangeSumOracle(basic.matrix).answer_all(queries), exact)
+        plus_err = square_error(RangeSumOracle(plus.matrix).answer_all(queries), exact)
+        # The winning factor grows with m (the paper reports ~100x at
+        # m > 1e8); at this tiny test scale (m ~ 4e5) a 3x margin is the
+        # robust expectation.  The benchmarks measure the full-scale gap.
+        assert plus_err.mean() < basic_err.mean() / 3
+
+    def test_basic_wins_on_point_queries(self, census_setup):
+        """Low-coverage queries: Basic's constant per-cell noise wins
+        (the crossover of Figures 8-9)."""
+        table, matrix, workload = census_setup
+        epsilon = 1.0
+
+        basic = BasicMechanism().publish_matrix(matrix, epsilon, seed=3)
+        privelet = PriveletMechanism().publish_matrix(matrix, epsilon, seed=4)
+
+        narrow = workload.coverages < np.quantile(workload.coverages, 0.05)
+        queries = [q for q, w in zip(workload.queries, narrow) if w]
+        exact = workload.exact_answers[narrow]
+
+        basic_err = square_error(
+            RangeSumOracle(basic.matrix).answer_all(queries), exact
+        )
+        privelet_err = square_error(
+            RangeSumOracle(privelet.matrix).answer_all(queries), exact
+        )
+        assert basic_err.mean() < privelet_err.mean()
+
+    def test_relative_error_crossover_in_selectivity(self, census_setup):
+        """§VII-A: Privelet+'s relative error beats Basic's except at
+        very low selectivities (the paper's crossover is ~1e-7 at
+        n = 10M; proportionally higher at this test's tiny n).  Compare
+        on the upper half of the selectivity distribution."""
+        table, matrix, workload = census_setup
+        epsilon = 1.25
+        sa = select_sa(table.schema)
+        sanity = sanity_bound(table.num_rows)
+
+        # At this compressed scale (m ~ 4e5 vs the paper's 1e8) the
+        # crossover sits higher up the distribution; take the queries
+        # that are wide in both measures, and average over noise draws
+        # (a single draw is too volatile for a strict comparison).
+        selective = (
+            workload.selectivities >= np.quantile(workload.selectivities, 0.5)
+        ) & (workload.coverages >= np.quantile(workload.coverages, 0.8))
+        queries = [q for q, keep in zip(workload.queries, selective) if keep]
+        exact = workload.exact_answers[selective]
+
+        plus_mean, basic_mean = 0.0, 0.0
+        reps = 12
+        for seed in range(reps):
+            plus = PriveletPlusMechanism(sa_names=sa).publish_matrix(
+                matrix, epsilon, seed=seed
+            )
+            basic = BasicMechanism().publish_matrix(matrix, epsilon, seed=500 + seed)
+            plus_mean += relative_error(
+                RangeSumOracle(plus.matrix).answer_all(queries), exact, sanity
+            ).mean()
+            basic_mean += relative_error(
+                RangeSumOracle(basic.matrix).answer_all(queries), exact, sanity
+            ).mean()
+        assert plus_mean / reps < basic_mean / reps
+
+    def test_empirical_variance_within_published_bound(self, census_setup):
+        """Corollary 1 holds end to end on census data."""
+        table, matrix, workload = census_setup
+        epsilon = 1.0
+        sa = select_sa(table.schema)
+        mechanism = PriveletPlusMechanism(sa_names=sa)
+        bound = mechanism.variance_bound(table.schema, epsilon)
+
+        query = workload.queries[0]
+        exact = workload.exact_answers[0]
+        errors = []
+        for seed in range(120):
+            result = mechanism.publish_matrix(matrix, epsilon, seed=seed)
+            errors.append(RangeSumOracle(result.matrix).answer(query) - exact)
+        assert np.var(errors) <= bound
+
+    def test_total_count_preserved_better_by_privelet(self, census_setup):
+        """The noisy grand total: Privelet holds it nearly exact (heavy
+        base-coefficient weight), Basic accumulates m cells of noise."""
+        table, matrix, workload = census_setup
+        epsilon = 1.0
+        basic_err, privelet_err = [], []
+        for seed in range(25):
+            b = BasicMechanism().publish_matrix(matrix, epsilon, seed=seed)
+            p = PriveletMechanism().publish_matrix(matrix, epsilon, seed=seed)
+            basic_err.append(abs(b.matrix.total - table.num_rows))
+            privelet_err.append(abs(p.matrix.total - table.num_rows))
+        assert np.median(privelet_err) < np.median(basic_err)
+
+
+class TestMechanismContract:
+    def test_publish_equals_publish_matrix(self, census_setup):
+        table, matrix, _ = census_setup
+        a = BasicMechanism().publish(table, 1.0, seed=7)
+        b = BasicMechanism().publish_matrix(matrix, 1.0, seed=7)
+        np.testing.assert_array_equal(a.matrix.values, b.matrix.values)
+
+    def test_results_carry_consistent_accounting(self, census_setup):
+        table, matrix, _ = census_setup
+        for mechanism in (
+            BasicMechanism(),
+            PriveletMechanism(),
+            PriveletPlusMechanism(sa_names="auto"),
+        ):
+            result = mechanism.publish_matrix(matrix, 0.75, seed=8)
+            assert result.epsilon == 0.75
+            assert result.noise_magnitude == pytest.approx(
+                2.0 * result.generalized_sensitivity / 0.75
+            )
+            assert result.variance_bound > 0

@@ -1,0 +1,83 @@
+"""Tests for result persistence (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.basic import BasicMechanism
+from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.data.census import BRAZIL, census_schema
+from repro.errors import ReproError
+from repro.io import load_result, save_result, schema_from_dict, schema_to_dict
+
+
+class TestSchemaRoundTrip:
+    def test_census_schema(self):
+        schema = census_schema(BRAZIL.scaled(0.05))
+        rebuilt = schema_from_dict(schema_to_dict(schema))
+        assert rebuilt.names == schema.names
+        assert rebuilt.shape == schema.shape
+        for original, copy in zip(schema, rebuilt):
+            assert original.is_ordinal == copy.is_ordinal
+            if original.is_nominal:
+                assert copy.hierarchy.height == original.hierarchy.height
+                assert copy.hierarchy.num_nodes == original.hierarchy.num_nodes
+                # Leaf order (and hence the coded domain) is preserved.
+                assert copy.hierarchy.leaf_labels() == original.hierarchy.leaf_labels()
+
+    def test_mixed_schema(self, mixed_schema):
+        rebuilt = schema_from_dict(schema_to_dict(mixed_schema))
+        assert rebuilt.shape == mixed_schema.shape
+
+    def test_version_checked(self, mixed_schema):
+        payload = schema_to_dict(mixed_schema)
+        payload["version"] = 99
+        with pytest.raises(ReproError):
+            schema_from_dict(payload)
+
+    def test_unknown_kind_rejected(self, mixed_schema):
+        payload = schema_to_dict(mixed_schema)
+        payload["attributes"][0]["kind"] = "mystery"
+        with pytest.raises(ReproError):
+            schema_from_dict(payload)
+
+
+class TestResultRoundTrip:
+    def test_basic_result(self, mixed_table, tmp_path):
+        result = BasicMechanism().publish(mixed_table, 1.0, seed=1)
+        path = tmp_path / "basic.npz"
+        save_result(path, result)
+        loaded = load_result(path)
+        np.testing.assert_array_equal(loaded.matrix.values, result.matrix.values)
+        assert loaded.epsilon == result.epsilon
+        assert loaded.noise_magnitude == result.noise_magnitude
+        assert loaded.variance_bound == result.variance_bound
+
+    def test_privelet_plus_result_with_hierarchies(self, mixed_table, tmp_path):
+        result = PriveletPlusMechanism(sa_names=("X",)).publish(mixed_table, 0.5, seed=2)
+        path = tmp_path / "plus.npz"
+        save_result(path, result)
+        loaded = load_result(path)
+        np.testing.assert_allclose(loaded.matrix.values, result.matrix.values)
+        assert loaded.matrix.schema.shape == mixed_table.schema.shape
+        assert tuple(loaded.details["sa"]) == ("X",)
+
+    def test_queries_work_on_loaded_result(self, mixed_table, tmp_path):
+        from repro.queries.oracle import RangeSumOracle
+        from repro.queries.workload import generate_workload
+
+        result = PriveletPlusMechanism(sa_names=()).publish(mixed_table, 1.0, seed=3)
+        path = tmp_path / "q.npz"
+        save_result(path, result)
+        loaded = load_result(path)
+        queries = generate_workload(loaded.matrix.schema, 30, seed=4)
+        original = RangeSumOracle(result.matrix).answer_all(
+            generate_workload(mixed_table.schema, 30, seed=4)
+        )
+        reloaded = RangeSumOracle(loaded.matrix).answer_all(queries)
+        np.testing.assert_allclose(reloaded, original)
+
+    def test_corrupt_archive_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ReproError):
+            load_result(path)

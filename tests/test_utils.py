@@ -1,0 +1,81 @@
+"""Tests for repro.utils (rng plumbing and validation helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_positive,
+    ensure_positive_int,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(7).integers(0, 100, 5)
+        b = as_generator(7).integers(0, 100, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passed_through(self):
+        rng = np.random.default_rng(1)
+        assert as_generator(rng) is rng
+
+    def test_spawn_independent_streams(self):
+        children = spawn_generators(42, 3)
+        draws = [g.integers(0, 1_000_000) for g in children]
+        assert len(set(draws)) == 3  # overwhelmingly likely
+
+    def test_spawn_deterministic(self):
+        a = [g.integers(0, 100, 3).tolist() for g in spawn_generators(5, 2)]
+        b = [g.integers(0, 100, 3).tolist() for g in spawn_generators(5, 2)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        children = spawn_generators(np.random.default_rng(3), 2)
+        assert len(children) == 2
+
+    def test_spawn_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+
+class TestValidation:
+    def test_ensure_positive(self):
+        assert ensure_positive(2.5, "x") == 2.5
+        with pytest.raises(ValueError):
+            ensure_positive(0, "x")
+        with pytest.raises(TypeError):
+            ensure_positive("2", "x")
+
+    def test_ensure_positive_int(self):
+        assert ensure_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            ensure_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            ensure_positive_int(2.5, "x")
+        with pytest.raises(TypeError):
+            ensure_positive_int(True, "x")  # bools are not sizes
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(0.5, "x", 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, "x", 0, 1)
+
+    def test_power_of_two_predicates(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(64) == 64
+        with pytest.raises(ValueError):
+            next_power_of_two(0)

@@ -1,0 +1,216 @@
+"""Unit tests for the nominal wavelet transform (paper §V)."""
+
+import numpy as np
+import pytest
+
+from repro.data.hierarchy import balanced_hierarchy, flat_hierarchy, two_level_hierarchy
+from repro.errors import TransformError
+from repro.transforms.nominal import NominalTransform, mean_subtract
+from repro.transforms.tree import nominal_forward_reference, nominal_reconstruct_entry
+
+
+class TestFigure3:
+    """The paper's worked example: Figure 3 / Example 3."""
+
+    def test_coefficients(self, figure3_hierarchy, figure3_vector):
+        transform = NominalTransform(figure3_hierarchy)
+        coefficients = transform.forward(figure3_vector)
+        np.testing.assert_allclose(
+            coefficients, [30.0, 3.0, -3.0, 3.0, -3.0, 0.0, -2.0, 4.0, -2.0]
+        )
+
+    def test_example3_reconstruction(self, figure3_hierarchy, figure3_vector):
+        """v1 = c3 + c0/2/3 + c1/3 = 3 + 5 + 1 = 9."""
+        transform = NominalTransform(figure3_hierarchy)
+        c = transform.forward(figure3_vector)
+        assert c[3] + c[0] / 2 / 3 + c[1] / 3 == pytest.approx(9.0)
+
+    def test_overcompleteness(self, figure3_hierarchy):
+        transform = NominalTransform(figure3_hierarchy)
+        assert transform.input_length == 6
+        assert transform.output_length == 9
+        # m' - m = number of internal nodes (§V-A)
+        assert (
+            transform.output_length - transform.input_length
+            == figure3_hierarchy.num_internal_nodes
+        )
+
+    def test_weights(self, figure3_hierarchy):
+        """W_Nom: base 1; f/(2f-2) with parent fanouts 2 and 3."""
+        weights = NominalTransform(figure3_hierarchy).weight_vector()
+        assert weights[0] == 1.0
+        # c1, c2: parent (root) fanout 2 -> 2/2 = 1
+        np.testing.assert_allclose(weights[1:3], 1.0)
+        # c3..c8: parent fanout 3 -> 3/4
+        np.testing.assert_allclose(weights[3:], 0.75)
+
+
+class TestForwardInverse:
+    @pytest.mark.parametrize(
+        "hierarchy_builder",
+        [
+            lambda: flat_hierarchy(7),
+            lambda: two_level_hierarchy([2, 3, 4]),
+            lambda: balanced_hierarchy(16, 2),
+            lambda: balanced_hierarchy(27, 3),
+        ],
+    )
+    def test_round_trip(self, hierarchy_builder, rng):
+        hierarchy = hierarchy_builder()
+        transform = NominalTransform(hierarchy)
+        values = rng.normal(size=hierarchy.num_leaves)
+        np.testing.assert_allclose(
+            transform.inverse(transform.forward(values)), values, atol=1e-10
+        )
+
+    def test_round_trip_unbalanced(self, unbalanced_hierarchy, rng):
+        transform = NominalTransform(unbalanced_hierarchy)
+        values = rng.normal(size=unbalanced_hierarchy.num_leaves)
+        np.testing.assert_allclose(
+            transform.inverse(transform.forward(values)), values, atol=1e-10
+        )
+
+    def test_round_trip_2d(self, figure3_hierarchy, rng):
+        transform = NominalTransform(figure3_hierarchy)
+        values = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(
+            transform.inverse(transform.forward(values)), values, atol=1e-10
+        )
+
+    def test_matches_reference(self, unbalanced_hierarchy, rng):
+        values = rng.normal(size=unbalanced_hierarchy.num_leaves)
+        np.testing.assert_allclose(
+            NominalTransform(unbalanced_hierarchy).forward(values),
+            nominal_forward_reference(values, unbalanced_hierarchy),
+            atol=1e-10,
+        )
+
+    def test_equation5_reconstruction(self, figure3_hierarchy, figure3_vector):
+        transform = NominalTransform(figure3_hierarchy)
+        coefficients = transform.forward(figure3_vector)
+        for leaf in range(6):
+            assert nominal_reconstruct_entry(
+                coefficients, figure3_hierarchy, leaf
+            ) == pytest.approx(figure3_vector[leaf])
+
+    def test_linearity(self, figure3_hierarchy, rng):
+        transform = NominalTransform(figure3_hierarchy)
+        a = rng.normal(size=6)
+        b = rng.normal(size=6)
+        np.testing.assert_allclose(
+            transform.forward(a + 2.0 * b),
+            transform.forward(a) + 2.0 * transform.forward(b),
+            atol=1e-10,
+        )
+
+    def test_sibling_groups_sum_to_zero(self, unbalanced_hierarchy, rng):
+        """True coefficients in a sibling group sum to zero by construction."""
+        transform = NominalTransform(unbalanced_hierarchy)
+        coefficients = transform.forward(rng.normal(size=unbalanced_hierarchy.num_leaves))
+        for group in unbalanced_hierarchy.sibling_groups():
+            assert float(coefficients[group].sum()) == pytest.approx(0.0, abs=1e-10)
+
+    def test_base_coefficient_is_total(self, figure3_hierarchy, figure3_vector):
+        transform = NominalTransform(figure3_hierarchy)
+        assert transform.forward(figure3_vector)[0] == pytest.approx(30.0)
+
+    def test_shape_validation(self, figure3_hierarchy):
+        transform = NominalTransform(figure3_hierarchy)
+        with pytest.raises(TransformError):
+            transform.forward(np.zeros(5))
+        with pytest.raises(TransformError):
+            transform.inverse(np.zeros(6))
+
+    def test_requires_hierarchy(self):
+        with pytest.raises(TransformError):
+            NominalTransform("nope")
+
+    def test_single_leaf_hierarchy(self):
+        from repro.data.hierarchy import Hierarchy, Node
+
+        transform = NominalTransform(Hierarchy(Node("v")))
+        values = np.array([4.5])
+        np.testing.assert_allclose(transform.inverse(transform.forward(values)), values)
+
+
+class TestMeanSubtraction:
+    def test_noop_on_exact_coefficients(self, figure3_hierarchy, figure3_vector):
+        """True coefficient groups already sum to zero, so refinement
+        changes nothing on exact data."""
+        transform = NominalTransform(figure3_hierarchy)
+        coefficients = transform.forward(figure3_vector)
+        np.testing.assert_allclose(transform.refine(coefficients), coefficients, atol=1e-10)
+
+    def test_groups_recentred(self, figure3_hierarchy, rng):
+        transform = NominalTransform(figure3_hierarchy)
+        noisy = rng.normal(size=9)
+        refined = transform.refine(noisy)
+        for group in figure3_hierarchy.sibling_groups():
+            assert float(refined[group].sum()) == pytest.approx(0.0, abs=1e-10)
+
+    def test_base_coefficient_untouched(self, figure3_hierarchy, rng):
+        transform = NominalTransform(figure3_hierarchy)
+        noisy = rng.normal(size=9)
+        assert transform.refine(noisy)[0] == noisy[0]
+
+    def test_idempotent(self, figure3_hierarchy, rng):
+        transform = NominalTransform(figure3_hierarchy)
+        once = transform.refine(rng.normal(size=9))
+        np.testing.assert_allclose(transform.refine(once), once, atol=1e-12)
+
+    def test_does_not_mutate_input(self, figure3_hierarchy, rng):
+        noisy = rng.normal(size=9)
+        copy = noisy.copy()
+        NominalTransform(figure3_hierarchy).refine(noisy)
+        np.testing.assert_array_equal(noisy, copy)
+
+    def test_mean_subtract_function(self, rng):
+        values = rng.normal(size=10)
+        out = mean_subtract(values, [slice(2, 5), slice(5, 10)])
+        assert out[2:5].sum() == pytest.approx(0.0, abs=1e-12)
+        assert out[5:].sum() == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_array_equal(out[:2], values[:2])
+
+    def test_inverse_with_refine(self, figure3_hierarchy, figure3_vector, rng):
+        """refine=True on noisy coefficients equals refine-then-inverse."""
+        transform = NominalTransform(figure3_hierarchy)
+        noisy = transform.forward(figure3_vector) + rng.normal(size=9)
+        np.testing.assert_allclose(
+            transform.inverse(noisy, refine=True),
+            transform.inverse(transform.refine(noisy)),
+            atol=1e-12,
+        )
+
+
+class TestSensitivity:
+    def test_lemma4_exact(self, figure3_hierarchy):
+        """Perturbing any entry yields weighted L1 change exactly h."""
+        transform = NominalTransform(figure3_hierarchy)
+        weights = transform.weight_vector()
+        for leaf in range(6):
+            bump = np.zeros(6)
+            bump[leaf] = 1.0
+            change = transform.forward(bump)
+            weighted = float(np.abs(change * weights).sum())
+            assert weighted == pytest.approx(figure3_hierarchy.height)
+
+    def test_lemma4_unbalanced_is_bound(self, unbalanced_hierarchy):
+        """For unbalanced hierarchies the weighted change per entry is at
+        most h (leaves above the deepest level touch fewer groups)."""
+        transform = NominalTransform(unbalanced_hierarchy)
+        weights = transform.weight_vector()
+        h = unbalanced_hierarchy.height
+        worst = 0.0
+        for leaf in range(unbalanced_hierarchy.num_leaves):
+            bump = np.zeros(unbalanced_hierarchy.num_leaves)
+            bump[leaf] = 1.0
+            weighted = float(np.abs(transform.forward(bump) * weights).sum())
+            assert weighted <= h + 1e-9
+            worst = max(worst, weighted)
+        # The deepest leaf attains h exactly.
+        assert worst == pytest.approx(h)
+
+    def test_factors(self, figure3_hierarchy):
+        transform = NominalTransform(figure3_hierarchy)
+        assert transform.sensitivity_factor() == 3.0
+        assert transform.variance_factor() == 4.0

@@ -1,0 +1,64 @@
+"""Error-path tests for the reference (oracle) transforms.
+
+The happy paths are exercised by the equivalence tests in test_haar.py
+and test_nominal.py; this module covers the validation branches so the
+oracles themselves are trustworthy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.transforms.tree import (
+    haar_forward_reference,
+    haar_reconstruct_entry,
+    nominal_forward_reference,
+    nominal_reconstruct_entry,
+)
+
+
+class TestHaarReference:
+    def test_rejects_2d(self):
+        with pytest.raises(TransformError):
+            haar_forward_reference(np.zeros((2, 2)))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(TransformError):
+            haar_forward_reference(np.zeros(6))
+
+    def test_reconstruct_bounds(self):
+        coefficients = haar_forward_reference(np.arange(8.0))
+        with pytest.raises(TransformError):
+            haar_reconstruct_entry(coefficients, 8)
+        with pytest.raises(TransformError):
+            haar_reconstruct_entry(coefficients, -1)
+
+    def test_reconstruct_rejects_non_power(self):
+        with pytest.raises(TransformError):
+            haar_reconstruct_entry(np.zeros(6), 0)
+
+    def test_single_entry(self):
+        coefficients = haar_forward_reference(np.array([7.0]))
+        np.testing.assert_array_equal(coefficients, [7.0])
+        assert haar_reconstruct_entry(coefficients, 0) == 7.0
+
+
+class TestNominalReference:
+    def test_rejects_wrong_length(self, figure3_hierarchy):
+        with pytest.raises(TransformError):
+            nominal_forward_reference(np.zeros(5), figure3_hierarchy)
+
+    def test_rejects_2d(self, figure3_hierarchy):
+        with pytest.raises(TransformError):
+            nominal_forward_reference(np.zeros((6, 1)), figure3_hierarchy)
+
+    def test_reconstruct_rejects_wrong_coefficients(self, figure3_hierarchy):
+        with pytest.raises(TransformError):
+            nominal_reconstruct_entry(np.zeros(5), figure3_hierarchy, 0)
+
+    def test_reconstruct_leaf_bounds(self, figure3_hierarchy, figure3_vector):
+        coefficients = nominal_forward_reference(figure3_vector, figure3_hierarchy)
+        from repro.errors import HierarchyError
+
+        with pytest.raises(HierarchyError):
+            nominal_reconstruct_entry(coefficients, figure3_hierarchy, 99)
