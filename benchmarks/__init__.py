@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+Making ``benchmarks/`` a package lets its modules use relative imports
+(``from .conftest import ...``) when collected by ``python -m pytest``
+from the repository root — without this file collection dies before a
+single test runs.
+"""

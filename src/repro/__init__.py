@@ -24,6 +24,7 @@ figure-by-figure reproduction record.
 """
 
 from repro.analysis import (
+    CompiledWorkload,
     basic_bound,
     crossover_coverage,
     haar_bound,
@@ -82,6 +83,7 @@ from repro.errors import (
     TransformError,
 )
 from repro.queries import (
+    BatchQueryAnswers,
     QueryAnswer,
     QueryEngine,
     RangeCountQuery,
@@ -156,6 +158,7 @@ __all__ = [
     "RangeSumOracle",
     "QueryEngine",
     "QueryAnswer",
+    "BatchQueryAnswers",
     "Workload",
     "generate_workload",
     "square_error",
@@ -171,5 +174,6 @@ __all__ = [
     "privelet_vs_basic_small_domain",
     "query_noise_variance",
     "workload_average_variance",
+    "CompiledWorkload",
     "optimize_sa",
 ]

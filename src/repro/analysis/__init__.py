@@ -1,6 +1,8 @@
 """Closed-form analyses: variance bounds and the paper's worked examples."""
 
 from repro.analysis.exact import (
+    AxisProfileCache,
+    CompiledWorkload,
     SaChoice,
     axis_variance_profile,
     expected_relative_errors,
@@ -25,6 +27,8 @@ from repro.analysis.variance import (
 __all__ = [
     "axis_variance_profile",
     "query_noise_variance",
+    "AxisProfileCache",
+    "CompiledWorkload",
     "workload_average_variance",
     "expected_relative_errors",
     "optimize_sa",

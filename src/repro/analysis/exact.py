@@ -14,9 +14,19 @@ and for the HN transform both ``g`` and ``W`` factor across axes, so
     Var = 2 lambda^2 * prod_i ( sum_{j_i} g_i[j_i]^2 / W_i[j_i]^2 ).
 
 ``g_i`` is the adjoint of axis ``i``'s reconstruction map applied to the
-query's range indicator on that axis.  We obtain the reconstruction
-matrix by applying ``inverse(refine=True)`` to the identity — small per
-axis — and take its transpose action.
+query's range indicator on that axis.  The transforms expose that
+adjoint **matrix-free** (``OneDimensionalTransform.adjoint_range`` /
+``range_profiles``): a Haar axis answers in ``O(log m)`` per range and a
+nominal axis in one bottom-up tree pass, so no ``m x m`` reconstruction
+matrix is ever materialized on the hot path.
+
+Batch evaluation goes through :class:`CompiledWorkload`, which extracts
+every query's per-axis ranges once, deduplicates them per axis, and
+computes all profiles in one vectorized transform call — the same
+compile-then-execute idiom conv-based FWT implementations use.  One
+compiled workload can be re-evaluated under *any* SA choice over the
+same schema, which is what makes :func:`optimize_sa` cheap across all
+``2^d`` candidates.
 
 This module powers two things the paper lists as future work (§IX):
 
@@ -29,19 +39,23 @@ This module powers two things the paper lists as future work (§IX):
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.schema import Schema
 from repro.errors import QueryError
-from repro.transforms.base import OneDimensionalTransform
+from repro.transforms.base import IdentityTransform, OneDimensionalTransform
 from repro.transforms.multidim import HNTransform
 from repro.utils.validation import ensure_positive
 
 __all__ = [
     "axis_variance_profile",
     "query_noise_variance",
+    "query_boxes",
+    "AxisProfileCache",
+    "CompiledWorkload",
     "workload_average_variance",
     "expected_relative_errors",
     "SaChoice",
@@ -49,33 +63,21 @@ __all__ = [
 ]
 
 
-def _reconstruction_matrix(transform: OneDimensionalTransform) -> np.ndarray:
-    """Dense ``input_length x output_length`` matrix of coefficient -> data.
-
-    Column ``j`` is the reconstructed data vector when coefficient ``j``
-    is 1 and all others are 0, including the refinement step (which is
-    linear, so this captures the full pipeline).
-    """
-    identity = np.eye(transform.output_length)
-    return transform.inverse(identity, refine=True)
-
-
 def axis_variance_profile(transform: OneDimensionalTransform, lo: int, hi: int) -> float:
     """``sum_j g[j]^2 / W[j]^2`` for one axis and one half-open range.
 
-    ``g = R^T r`` where ``R`` is the reconstruction matrix and ``r`` the
+    ``g = R^T r`` where ``R`` is the reconstruction map and ``r`` the
     range indicator.  This is the axis's multiplicative contribution to
-    the exact query variance (times ``2 lambda^2`` overall).
+    the exact query variance (times ``2 lambda^2`` overall).  Computed
+    matrix-free through the transform's own adjoint — ``O(log m)`` for a
+    Haar axis — never via a dense identity reconstruction.
     """
     if not (0 <= lo <= hi <= transform.input_length):
         raise QueryError(
             f"range [{lo}, {hi}) out of bounds for axis of length "
             f"{transform.input_length}"
         )
-    reconstruction = _reconstruction_matrix(transform)
-    g = reconstruction[lo:hi].sum(axis=0)  # R^T r
-    weights = transform.weight_vector()
-    return float(np.sum((g / weights) ** 2))
+    return float(transform.range_profile(lo, hi))
 
 
 def query_noise_variance(hn: HNTransform, query, noise_magnitude: float) -> float:
@@ -96,30 +98,200 @@ def query_noise_variance(hn: HNTransform, query, noise_magnitude: float) -> floa
     return 2.0 * noise_magnitude**2 * product
 
 
+def query_boxes(queries, shape) -> tuple[np.ndarray, np.ndarray]:
+    """Extract every query's box into ``(n, d)`` low/high arrays.
+
+    Validates each query's schema shape against ``shape``.  This is the
+    shared first step of every batch path (compiled workloads, the
+    engine's variance batches).
+    """
+    queries = list(queries)
+    dimensions = len(shape)
+    lows = np.empty((len(queries), dimensions), dtype=np.int64)
+    highs = np.empty((len(queries), dimensions), dtype=np.int64)
+    for row, query in enumerate(queries):
+        if query.schema.shape != shape:
+            raise QueryError("query schema does not match the expected shape")
+        for axis, (lo, hi) in enumerate(query.box()):
+            lows[row, axis] = lo
+            highs[row, axis] = hi
+    return lows, highs
+
+
+class AxisProfileCache:
+    """Memoized per-axis ``(lo, hi) -> profile`` store with batch fills.
+
+    Bound to one sequence of per-axis transforms (e.g. an engine's
+    ``HNTransform.transforms``); repeated queries over the same ranges —
+    the common case in OLAP traffic — hit the dictionary, and the ranges
+    a batch *does* miss are computed in a single vectorized
+    ``range_profiles`` call per axis.
+    """
+
+    def __init__(self, transforms):
+        self._transforms = list(transforms)
+        self._caches: list[dict[tuple[int, int], float]] = [
+            dict() for _ in self._transforms
+        ]
+
+    def profile(self, axis: int, lo: int, hi: int) -> float:
+        """One axis profile, memoized."""
+        key = (int(lo), int(hi))
+        cache = self._caches[axis]
+        value = cache.get(key)
+        if value is None:
+            value = axis_variance_profile(self._transforms[axis], *key)
+            cache[key] = value
+        return value
+
+    def profiles(self, axis: int, lows, highs) -> np.ndarray:
+        """Vectorized profiles for one axis; missing ranges are computed
+        in one batched transform call and remembered."""
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        transform = self._transforms[axis]
+        if lows.size and not (
+            lows.min() >= 0 and np.all(lows <= highs) and highs.max() <= transform.input_length
+        ):
+            raise QueryError(
+                f"a range is out of bounds for axis {axis} of length "
+                f"{transform.input_length}"
+            )
+        cache = self._caches[axis]
+        pairs = np.stack([lows, highs], axis=1)
+        unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        keys = [(int(lo), int(hi)) for lo, hi in unique]
+        missing = [i for i, key in enumerate(keys) if key not in cache]
+        if missing:
+            computed = transform.range_profiles(
+                unique[missing, 0], unique[missing, 1]
+            )
+            for i, value in zip(missing, computed):
+                cache[keys[i]] = float(value)
+        values = np.asarray([cache[key] for key in keys], dtype=np.float64)
+        return values[inverse]
+
+    def box_profile_products(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Per-query products of axis profiles for ``(n, d)`` box arrays."""
+        products = np.ones(lows.shape[0], dtype=np.float64)
+        for axis in range(len(self._transforms)):
+            products *= self.profiles(axis, lows[:, axis], highs[:, axis])
+        return products
+
+
+class CompiledWorkload:
+    """A workload compiled to per-axis deduplicated ranges.
+
+    Compilation extracts every query's box once, groups the ``(lo, hi)``
+    ranges per axis, and deduplicates them; evaluation then computes each
+    axis's unique profiles in **one** vectorized transform call and
+    gathers them back per query.  The compiled form is independent of the
+    SA choice: profiles are cached per ``(axis, wavelet-or-identity)``,
+    so all ``2^d`` Privelet+ candidates over the same schema reuse the
+    same compiled ranges (each axis is profiled at most twice in total).
+    """
+
+    def __init__(self, schema: Schema, queries):
+        self.schema = schema
+        self.queries = tuple(queries)
+        if not self.queries:
+            raise QueryError("workload is empty")
+        lows, highs = query_boxes(self.queries, schema.shape)
+        # Per axis: unique (lo, hi) pairs + the gather map back to queries.
+        self._axis_ranges: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        for axis in range(schema.dimensions):
+            pairs = np.stack([lows[:, axis], highs[:, axis]], axis=1)
+            unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
+            self._axis_ranges.append((unique[:, 0], unique[:, 1], inverse))
+        # (axis, is_identity) -> profiles of that axis's unique ranges.
+        # Sound because the wavelet transform of an axis is a pure
+        # function of the schema attribute, and the only alternative an
+        # SA choice introduces is the identity.
+        self._profile_cache: dict[tuple[int, bool], np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @property
+    def unique_range_counts(self) -> tuple[int, ...]:
+        """Deduplicated range count per axis (diagnostics/tests)."""
+        return tuple(len(lows) for lows, _, _ in self._axis_ranges)
+
+    def axis_profiles(self, axis: int, transform: OneDimensionalTransform) -> np.ndarray:
+        """Per-*query* profiles of one axis under ``transform``."""
+        lows, highs, inverse = self._axis_ranges[axis]
+        key = (axis, isinstance(transform, IdentityTransform))
+        unique_profiles = self._profile_cache.get(key)
+        if unique_profiles is None:
+            unique_profiles = np.asarray(
+                transform.range_profiles(lows, highs), dtype=np.float64
+            )
+            self._profile_cache[key] = unique_profiles
+        return unique_profiles[inverse]
+
+    def profile_products(self, hn: HNTransform) -> np.ndarray:
+        """Per-query products of axis profiles under one HN transform."""
+        # Schema *equality*, not just shape: the profile cache assumes
+        # each axis's wavelet transform is determined by this workload's
+        # schema, so a same-shape schema with e.g. a different hierarchy
+        # must be rejected rather than served stale profiles.
+        if hn.schema != self.schema:
+            raise QueryError(
+                "transform schema does not match the compiled workload"
+            )
+        products = np.ones(len(self.queries), dtype=np.float64)
+        for axis, transform in enumerate(hn.transforms):
+            products *= self.axis_profiles(axis, transform)
+        return products
+
+    def variances(self, hn: HNTransform, noise_magnitude: float) -> np.ndarray:
+        """Exact per-query noise variances, vectorized."""
+        noise_magnitude = ensure_positive(noise_magnitude, "noise_magnitude")
+        return 2.0 * noise_magnitude**2 * self.profile_products(hn)
+
+    def average_variance(self, hn: HNTransform, noise_magnitude: float) -> float:
+        """Mean exact noise variance over the workload."""
+        return float(self.variances(hn, noise_magnitude).mean())
+
+    def expected_relative_errors(
+        self,
+        hn: HNTransform,
+        noise_magnitude: float,
+        exact_answers,
+        sanity: float,
+    ) -> np.ndarray:
+        """Gaussian-approximation ``E[relerr]`` per query (§IX analysis).
+
+        ``E|noise| = sigma * sqrt(2/pi)`` under the CLT, divided by the
+        §VII-A sanity-bounded exact answer.
+        """
+        sanity = ensure_positive(sanity, "sanity")
+        stds = np.sqrt(self.variances(hn, noise_magnitude))
+        exact_answers = np.asarray(exact_answers, dtype=np.float64)
+        if exact_answers.shape != (len(self.queries),):
+            raise QueryError(
+                f"expected {len(self.queries)} exact answers, got shape "
+                f"{exact_answers.shape}"
+            )
+        denominators = np.maximum(exact_answers, sanity)
+        return stds * math.sqrt(2.0 / math.pi) / denominators
+
+
 def workload_average_variance(
-    schema: Schema, sa_names, queries, epsilon: float
+    schema: Schema, sa_names, queries, epsilon: float, *, compiled: CompiledWorkload | None = None
 ) -> float:
-    """Average *exact* noise variance over a workload for one SA choice."""
+    """Average *exact* noise variance over a workload for one SA choice.
+
+    Pass ``compiled`` to reuse a :class:`CompiledWorkload` across SA
+    choices (as :func:`optimize_sa` does); it must have been built from
+    the same queries over the same schema.
+    """
     epsilon = ensure_positive(epsilon, "epsilon")
     hn = HNTransform(schema, sa_names)
     magnitude = 2.0 * hn.generalized_sensitivity() / epsilon
-
-    # Cache per-axis profiles: many queries share the same range per axis.
-    caches: list[dict] = [dict() for _ in hn.transforms]
-    total = 0.0
-    count = 0
-    for query in queries:
-        product = 1.0
-        for axis, (lo, hi) in enumerate(query.box()):
-            key = (lo, hi)
-            if key not in caches[axis]:
-                caches[axis][key] = axis_variance_profile(hn.transforms[axis], lo, hi)
-            product *= caches[axis][key]
-        total += 2.0 * magnitude**2 * product
-        count += 1
-    if count == 0:
-        raise QueryError("workload is empty")
-    return total / count
+    if compiled is None:
+        compiled = CompiledWorkload(schema, queries)
+    return compiled.average_variance(hn, magnitude)
 
 
 def expected_relative_errors(
@@ -149,19 +321,10 @@ def expected_relative_errors(
     sanity = ensure_positive(sanity, "sanity")
     hn = HNTransform(schema, sa_names)
     magnitude = 2.0 * hn.generalized_sensitivity() / epsilon
-    caches: list[dict] = [dict() for _ in hn.transforms]
-    predictions = np.empty(len(workload.queries))
-    for index, query in enumerate(workload.queries):
-        product = 1.0
-        for axis, (lo, hi) in enumerate(query.box()):
-            key = (lo, hi)
-            if key not in caches[axis]:
-                caches[axis][key] = axis_variance_profile(hn.transforms[axis], lo, hi)
-            product *= caches[axis][key]
-        std = float(np.sqrt(2.0 * magnitude**2 * product))
-        denominator = max(float(workload.exact_answers[index]), sanity)
-        predictions[index] = std * np.sqrt(2.0 / np.pi) / denominator
-    return predictions
+    compiled = CompiledWorkload(schema, workload.queries)
+    return compiled.expected_relative_errors(
+        hn, magnitude, workload.exact_answers, sanity
+    )
 
 
 @dataclass(frozen=True)
@@ -182,13 +345,17 @@ def optimize_sa(schema: Schema, queries, epsilon: float = 1.0) -> SaChoice:
     "extend Privelet for the case where the distribution of range-count
     queries is known in advance": with a workload sample in hand, pick
     the hybrid split that is optimal *for that workload* rather than for
-    the worst case.
+    the worst case.  The workload is compiled once; every candidate
+    reuses the same deduplicated per-axis profiles, so the sweep costs
+    two profile passes per axis instead of ``2^d`` rebuilds.
     """
-    queries = list(queries)
+    compiled = CompiledWorkload(schema, list(queries))
     candidates = []
     for r in range(len(schema.names) + 1):
         for sa in itertools.combinations(schema.names, r):
-            average = workload_average_variance(schema, sa, queries, epsilon)
+            average = workload_average_variance(
+                schema, sa, compiled.queries, epsilon, compiled=compiled
+            )
             candidates.append((sa, average))
     candidates.sort(key=lambda item: item[1])
     best_sa, best_average = candidates[0]

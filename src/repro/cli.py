@@ -12,6 +12,10 @@ Commands
     Generate a synthetic census table, publish it with a chosen
     mechanism, and write the result archive (``.npz``) for later
     querying with :func:`repro.io.load_result`.
+``query``
+    Answer random range-count queries on a published archive through the
+    batch query engine, printing each estimate with its exact noise std
+    and confidence interval.
 """
 
 from __future__ import annotations
@@ -31,8 +35,11 @@ from repro.experiments.figures import (
     run_time_vs_m,
     run_time_vs_n,
 )
+from repro.errors import ReproError
 from repro.experiments.reporting import format_accuracy_run, format_timing_run
-from repro.io import save_result
+from repro.io import load_result, save_result
+from repro.queries.engine import QueryEngine
+from repro.queries.workload import generate_workload
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--mechanism", choices=["basic", "privelet", "privelet+"], default="privelet+"
     )
     publish.add_argument("--seed", type=int, default=0)
+
+    query = commands.add_parser(
+        "query", help="answer queries on a published archive with intervals"
+    )
+    query.add_argument("archive", help="result .npz written by `publish`")
+    query.add_argument("--queries", type=int, default=10)
+    query.add_argument("--confidence", type=float, default=0.95)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--sa",
+        nargs="*",
+        default=None,
+        help="override the SA set when the archive lacks mechanism details",
+    )
 
     return parser
 
@@ -140,6 +161,28 @@ def _cmd_publish(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    result = load_result(args.archive)
+    sa_names = tuple(args.sa) if args.sa is not None else None
+    engine = QueryEngine(result, sa_names=sa_names)
+    queries = generate_workload(
+        result.matrix.schema, args.queries, seed=args.seed
+    )
+    batch = engine.answer_all_with_intervals(queries, confidence=args.confidence)
+    print(
+        f"{len(queries)} random range-count queries on {args.archive} "
+        f"(epsilon={result.epsilon}, {100 * args.confidence:.0f}% intervals)"
+    )
+    print(f"{'estimate':>12}{'noise std':>12}{'lower':>12}{'upper':>12}  query")
+    for query, answer in zip(queries, batch):
+        print(
+            f"{answer.estimate:>12.1f}{answer.noise_std:>12.2f}"
+            f"{answer.lower:>12.1f}{answer.upper:>12.1f}  {query!r}"
+        )
+    print(f"mean noise std: {float(batch.noise_stds.mean()):.2f}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -147,8 +190,13 @@ def main(argv=None) -> int:
         "account": _cmd_account,
         "figure": _cmd_figure,
         "publish": _cmd_publish,
+        "query": _cmd_query,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

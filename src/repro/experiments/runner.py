@@ -1,9 +1,16 @@
 """Run mechanisms against datasets and workloads; collect bucketed errors.
 
 This is the measurement core behind Figures 6–9: publish a noisy matrix
-per (mechanism, ε), answer the whole workload on it through a prefix-sum
-oracle, and average an error metric inside coverage- or selectivity-
-quintile buckets.
+per (mechanism, ε), answer the whole workload on it through the batch
+query API (one vectorized prefix-sum gather), and average an error
+metric inside coverage- or selectivity-quintile buckets.
+
+When a mechanism's result carries enough configuration to rebuild its
+transform (Basic / Privelet / Privelet+), the workload is answered
+through a :class:`~repro.queries.engine.QueryEngine` and each series
+additionally records the workload's mean *predicted* exact noise
+variance — the designer-side number Figures 6–7 can be checked against.
+Baselines without that metadata fall back to a plain oracle.
 """
 
 from __future__ import annotations
@@ -13,8 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.framework import PublishingMechanism
+from repro.analysis.exact import CompiledWorkload
+from repro.core.framework import PublishingMechanism, PublishResult
 from repro.data.frequency import FrequencyMatrix
+from repro.errors import QueryError
+from repro.queries.engine import QueryEngine
 from repro.queries.error import relative_error, sanity_bound, square_error
 from repro.queries.oracle import RangeSumOracle
 from repro.queries.workload import Workload, quintile_buckets
@@ -35,6 +45,10 @@ class BucketedSeries:
     bucket_errors: np.ndarray
     #: Error over the whole workload (unbucketed mean).
     overall_error: float
+    #: Mean *predicted* exact noise variance over the workload, when the
+    #: mechanism's configuration is recoverable from its result (None for
+    #: baselines that do not expose one).
+    predicted_variance: float | None = None
 
 
 @dataclass(frozen=True)
@@ -62,6 +76,7 @@ def _bucket_series(
     errors: np.ndarray,
     measure_values: np.ndarray,
     buckets: list[np.ndarray],
+    predicted_variance: float | None = None,
 ) -> BucketedSeries:
     centers = np.asarray([measure_values[b].mean() for b in buckets])
     bucket_errors = np.asarray([errors[b].mean() for b in buckets])
@@ -71,7 +86,16 @@ def _bucket_series(
         bucket_centers=centers,
         bucket_errors=bucket_errors,
         overall_error=float(errors.mean()),
+        predicted_variance=predicted_variance,
     )
+
+
+def _engine_for(result: PublishResult) -> QueryEngine | None:
+    """A query engine when the result's configuration is recoverable."""
+    try:
+        return QueryEngine(result)
+    except QueryError:
+        return None
 
 
 def run_accuracy(
@@ -111,17 +135,32 @@ def run_accuracy(
 
     all_series = []
     stream = iter(rngs)
+    # Compiled once (lazily) and shared across every (mechanism, epsilon):
+    # the per-axis profiles are epsilon-independent and the compiled
+    # cache serves identity and wavelet axes alike.
+    compiled: CompiledWorkload | None = None
     for mechanism in mechanisms:
         for epsilon in epsilons:
             result = mechanism.publish_matrix(exact_matrix, epsilon, seed=next(stream))
-            oracle = RangeSumOracle(result.matrix)
-            answers = oracle.answer_all(workload.queries)
+            engine = _engine_for(result)
+            predicted = None
+            if engine is not None:
+                answers = engine.answer_all(workload.queries)
+                if compiled is None:
+                    compiled = CompiledWorkload(exact_matrix.schema, workload.queries)
+                predicted = compiled.average_variance(
+                    engine.transform, result.noise_magnitude
+                )
+            else:
+                answers = RangeSumOracle(result.matrix).answer_all(workload.queries)
             if metric == "square":
                 errors = square_error(answers, workload.exact_answers)
             else:
                 errors = relative_error(answers, workload.exact_answers, sanity)
             all_series.append(
-                _bucket_series(mechanism.name, epsilon, errors, measure_values, buckets)
+                _bucket_series(
+                    mechanism.name, epsilon, errors, measure_values, buckets, predicted
+                )
             )
 
     return AccuracyRun(

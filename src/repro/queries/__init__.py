@@ -6,7 +6,7 @@ from repro.queries.error import (
     sanity_bound,
     square_error,
 )
-from repro.queries.engine import QueryAnswer, QueryEngine
+from repro.queries.engine import BatchQueryAnswers, QueryAnswer, QueryEngine
 from repro.queries.oracle import RangeSumOracle
 from repro.queries.predicate import (
     Predicate,
@@ -26,6 +26,7 @@ __all__ = [
     "RangeSumOracle",
     "QueryEngine",
     "QueryAnswer",
+    "BatchQueryAnswers",
     "Workload",
     "generate_workload",
     "quintile_buckets",

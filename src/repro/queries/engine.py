@@ -13,6 +13,14 @@ mechanism configuration, not the data).  :class:`QueryEngine` packages:
   independent Laplace terms, so the CLT applies; for one-coefficient
   answers the interval is conservative by design — we widen the Gaussian
   quantile to the Laplace one when the effective term count is tiny).
+
+The primary entry point for traffic is the **batch API**
+(:meth:`QueryEngine.answer_all_with_intervals`): one vectorized oracle
+gather plus one compiled variance pass over the whole batch, with the
+per-axis range profiles memoized across calls on the same engine — so an
+OLAP dashboard re-asking overlapping ranges pays for each distinct range
+once over the engine's lifetime.  The single-query methods are thin
+wrappers over the batch path.
 """
 
 from __future__ import annotations
@@ -22,15 +30,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.exact import query_noise_variance
+from repro.analysis.exact import AxisProfileCache, query_boxes
 from repro.core.framework import PublishResult
 from repro.errors import QueryError
 from repro.queries.oracle import RangeSumOracle
 from repro.queries.query import RangeCountQuery
 from repro.transforms.multidim import HNTransform
-from repro.utils.validation import ensure_in_range
 
-__all__ = ["QueryAnswer", "QueryEngine"]
+__all__ = ["QueryAnswer", "BatchQueryAnswers", "QueryEngine"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +51,38 @@ class QueryAnswer:
     lower: float
     upper: float
     confidence: float
+
+
+@dataclass(frozen=True)
+class BatchQueryAnswers:
+    """Vectorized answers for a query batch (arrays aligned by query).
+
+    Indexing (or iterating) yields per-query :class:`QueryAnswer` views
+    for callers that want the scalar shape.
+    """
+
+    estimates: np.ndarray
+    #: Exact standard deviation of the noise in each estimate.
+    noise_stds: np.ndarray
+    #: Two-sided confidence bounds at ``confidence``.
+    lowers: np.ndarray
+    uppers: np.ndarray
+    confidence: float
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def __getitem__(self, index: int) -> QueryAnswer:
+        return QueryAnswer(
+            estimate=float(self.estimates[index]),
+            noise_std=float(self.noise_stds[index]),
+            lower=float(self.lowers[index]),
+            upper=float(self.uppers[index]),
+            confidence=self.confidence,
+        )
+
+    def __iter__(self):
+        return (self[index] for index in range(len(self)))
 
 
 def _gaussian_quantile(p: float) -> float:
@@ -105,11 +144,19 @@ class QueryEngine:
                 )
         self._transform = HNTransform(schema, sa_names)
         self._oracle = RangeSumOracle(result.matrix)
+        # Per-axis range -> profile memo, shared by every uncertainty
+        # call on this engine (batch misses fill it vectorized).
+        self._profiles = AxisProfileCache(self._transform.transforms)
 
     # ------------------------------------------------------------------
     @property
     def schema(self):
         return self._result.matrix.schema
+
+    @property
+    def transform(self) -> HNTransform:
+        """The HN transform reconstructed from the result's configuration."""
+        return self._transform
 
     def answer(self, query: RangeCountQuery) -> float:
         """Point answer from the published matrix."""
@@ -117,37 +164,57 @@ class QueryEngine:
 
     def noise_variance(self, query: RangeCountQuery) -> float:
         """Exact noise variance of this query's answer (data-free)."""
-        return query_noise_variance(
-            self._transform, query, self._result.noise_magnitude
-        )
+        return float(self.noise_variances([query])[0])
+
+    def noise_variances(self, queries) -> np.ndarray:
+        """Exact noise variances for a query batch, vectorized.
+
+        One compiled pass: each axis's distinct ranges are profiled in a
+        single transform call (through the engine's persistent cache),
+        then multiplied across axes per query.
+        """
+        lows, highs = query_boxes(queries, self._transform.input_shape)
+        products = self._profiles.box_profile_products(lows, highs)
+        return 2.0 * self._result.noise_magnitude**2 * products
 
     def answer_with_interval(
         self, query: RangeCountQuery, confidence: float = 0.95
     ) -> QueryAnswer:
         """Point answer plus a two-sided confidence interval.
 
-        The interval uses the Gaussian approximation to the sum of
-        independent Laplace noises, widened to the exact Laplace quantile
-        when it is larger (so intervals stay valid even for answers
-        dominated by a single coefficient).
+        A batch of one — see :meth:`answer_all_with_intervals` for the
+        interval construction.
         """
-        confidence = ensure_in_range(confidence, "confidence", 0.0, 1.0)
+        return self.answer_all_with_intervals([query], confidence)[0]
+
+    def answer_all_with_intervals(
+        self, queries, confidence: float = 0.95
+    ) -> BatchQueryAnswers:
+        """Batch answers with exact stds and confidence intervals.
+
+        One vectorized oracle gather for the estimates plus one compiled
+        variance pass for the stds.  The interval uses the Gaussian
+        approximation to the sum of independent Laplace noises, widened
+        to the exact Laplace quantile when it is larger (so intervals
+        stay valid even for answers dominated by a single coefficient).
+        """
         if not 0.0 < confidence < 1.0:
             raise QueryError(f"confidence must be in (0, 1), got {confidence}")
-        estimate = self.answer(query)
-        variance = self.noise_variance(query)
-        std = math.sqrt(variance)
+        confidence = float(confidence)
+        queries = list(queries)
+        estimates = self._oracle.answer_all(queries)
+        stds = np.sqrt(self.noise_variances(queries))
         tail = (1.0 - confidence) / 2.0
-        gaussian_half_width = -_gaussian_quantile(tail) * std
+        gaussian_multiplier = -_gaussian_quantile(tail)
         # Exact Laplace quantile for a *single* Laplace with the same
         # variance: scale = std / sqrt(2); P(|X| > w) = exp(-w/scale).
-        laplace_half_width = -(std / math.sqrt(2.0)) * math.log(2.0 * tail)
-        half_width = max(gaussian_half_width, laplace_half_width)
-        return QueryAnswer(
-            estimate=float(estimate),
-            noise_std=std,
-            lower=float(estimate - half_width),
-            upper=float(estimate + half_width),
+        laplace_multiplier = -math.log(2.0 * tail) / math.sqrt(2.0)
+        half_widths = max(gaussian_multiplier, laplace_multiplier) * stds
+        return BatchQueryAnswers(
+            estimates=estimates,
+            noise_stds=stds,
+            lowers=estimates - half_widths,
+            uppers=estimates + half_widths,
             confidence=confidence,
         )
 
@@ -162,10 +229,9 @@ class QueryEngine:
         (schema order of the request).  Each marginal cell is a
         range-count query (a point on the kept axes, the full range on
         the summed-out axes), so its exact noise variance factorizes per
-        axis — the whole std table costs one per-axis profile pass.
+        axis — the whole std table costs one vectorized profile pass per
+        kept axis (memoized across calls like every engine profile).
         """
-        from repro.analysis.exact import axis_variance_profile
-
         schema = self.schema
         names = list(attribute_names)
         keep_axes = schema.axes_of(names)
@@ -177,15 +243,10 @@ class QueryEngine:
         per_axis = []
         for axis, transform in enumerate(self._transform.transforms):
             if axis in keep_axes:
-                profile = np.asarray(
-                    [
-                        axis_variance_profile(transform, i, i + 1)
-                        for i in range(transform.input_length)
-                    ]
-                )
-                per_axis.append(profile)
+                cells = np.arange(transform.input_length, dtype=np.int64)
+                per_axis.append(self._profiles.profiles(axis, cells, cells + 1))
             else:
-                factor *= axis_variance_profile(transform, 0, transform.input_length)
+                factor *= self._profiles.profile(axis, 0, transform.input_length)
         # Outer product of the kept axes' profiles, ordered as requested.
         variance = np.ones((1,) * len(names))
         ordered = [per_axis[sorted(keep_axes).index(axis)] for axis in keep_axes]

@@ -15,6 +15,20 @@ turn.  Each 1-D transform must provide, beyond forward/inverse:
 All transforms operate along axis 0 of an ndarray and vectorize over any
 trailing axes, which is what lets the HN transform process every row/
 column/fiber of the matrix in one numpy call.
+
+Adjoints
+--------
+A range-count answer over ``[lo, hi)`` is ``r . x = r . R c = (R^T r) . c``
+where ``R`` is the (linear) coefficient-to-data reconstruction map
+including refinement and ``r`` the range indicator.  The vector
+``g = R^T r`` — the **range adjoint** — is all the exact-variance
+machinery in :mod:`repro.analysis.exact` needs, so every transform
+exposes :meth:`OneDimensionalTransform.adjoint_range` plus a vectorized
+batch form, and a :meth:`~OneDimensionalTransform.range_profile` that
+folds ``g`` with the weight vector into the scalar
+``sum_j (g[j] / W[j])^2``.  The base class supplies a dense fallback that
+materializes ``R`` **once per transform instance**; concrete transforms
+override it with closed forms that never build a matrix.
 """
 
 from __future__ import annotations
@@ -58,6 +72,102 @@ class OneDimensionalTransform:
     def variance_factor(self) -> float:
         """Factor this dimension contributes to the variance bound."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Range adjoints (matrix-free exact variance support)
+    # ------------------------------------------------------------------
+    def adjoint_range(self, lo: int, hi: int) -> np.ndarray:
+        """``g = R^T r`` for the half-open data-space range ``[lo, hi)``.
+
+        ``R`` is the full coefficient-to-data reconstruction map
+        (``inverse(..., refine=True)``, so refinement and padding
+        truncation are included) and ``r`` the indicator of ``[lo, hi)``.
+        Returns a ``(output_length,)`` vector.  The base implementation
+        uses a dense reconstruction computed once and cached on the
+        instance; subclasses override it with closed forms.
+        """
+        lo, hi = self._check_range(lo, hi)
+        cumulative = self._cumulative_reconstruction()
+        return cumulative[hi] - cumulative[lo]
+
+    def adjoint_ranges(self, lows, highs) -> np.ndarray:
+        """Vectorized :meth:`adjoint_range` — one row per ``(lo, hi)`` pair.
+
+        ``lows``/``highs`` are equal-length integer arrays; the result has
+        shape ``(len(lows), output_length)``.
+        """
+        lows, highs = self._check_ranges(lows, highs)
+        cumulative = self._cumulative_reconstruction()
+        return cumulative[highs] - cumulative[lows]
+
+    def range_profile(self, lo: int, hi: int) -> float:
+        """``sum_j (g[j] / W[j])^2`` for one range — the axis's
+        multiplicative contribution to the exact query variance."""
+        return float(self.range_profiles([lo], [hi])[0])
+
+    def range_profiles(self, lows, highs) -> np.ndarray:
+        """Vectorized :meth:`range_profile`; returns shape ``(len(lows),)``."""
+        adjoints = self.adjoint_ranges(lows, highs)
+        weights = self._cached_weight_vector()
+        return np.sum((adjoints / weights) ** 2, axis=-1)
+
+    # -- shared caches and validation ----------------------------------
+    def _cached_weight_vector(self) -> np.ndarray:
+        """The weight vector, computed once per instance (do not mutate)."""
+        cached = getattr(self, "_weight_vector_cache", None)
+        if cached is None:
+            cached = self.weight_vector()
+            self._weight_vector_cache = cached
+        return cached
+
+    def _cumulative_reconstruction(self) -> np.ndarray:
+        """Row-prefix-sums of the dense reconstruction matrix, cached.
+
+        Shape ``(input_length + 1, output_length)``; the adjoint of any
+        range is then one row difference.  Built from a single
+        ``inverse(identity, refine=True)`` the first time it is needed —
+        the only place the dense fallback ever materializes a matrix.
+        """
+        cached = getattr(self, "_cumulative_reconstruction_cache", None)
+        if cached is None:
+            reconstruction = self.inverse(
+                np.eye(self.output_length, dtype=np.float64), refine=True
+            )
+            cached = np.concatenate(
+                [
+                    np.zeros((1, self.output_length), dtype=np.float64),
+                    np.cumsum(reconstruction, axis=0),
+                ],
+                axis=0,
+            )
+            self._cumulative_reconstruction_cache = cached
+        return cached
+
+    def _check_range(self, lo, hi) -> tuple[int, int]:
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo <= hi <= self.input_length:
+            raise _transform_error(
+                f"{type(self).__name__}: range [{lo}, {hi}) out of bounds "
+                f"for axis of length {self.input_length}"
+            )
+        return lo, hi
+
+    def _check_ranges(self, lows, highs) -> tuple[np.ndarray, np.ndarray]:
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        if lows.ndim != 1 or lows.shape != highs.shape:
+            raise _transform_error(
+                f"{type(self).__name__}: lows/highs must be equal-length 1-D "
+                f"arrays, got shapes {lows.shape} and {highs.shape}"
+            )
+        valid = (lows >= 0) & (lows <= highs) & (highs <= self.input_length)
+        if not np.all(valid):
+            bad = int(np.argmin(valid))
+            raise _transform_error(
+                f"{type(self).__name__}: range [{lows[bad]}, {highs[bad]}) "
+                f"out of bounds for axis of length {self.input_length}"
+            )
+        return lows, highs
 
     def _check_forward_input(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=np.float64)
@@ -108,6 +218,26 @@ class IdentityTransform(OneDimensionalTransform):
 
     def variance_factor(self) -> float:
         return float(self.input_length)
+
+    def adjoint_range(self, lo: int, hi: int) -> np.ndarray:
+        """The identity's adjoint is the range indicator itself."""
+        lo, hi = self._check_range(lo, hi)
+        adjoint = np.zeros(self.output_length, dtype=np.float64)
+        adjoint[lo:hi] = 1.0
+        return adjoint
+
+    def adjoint_ranges(self, lows, highs) -> np.ndarray:
+        """Batch of range indicators, shape ``(len(lows), output_length)``."""
+        lows, highs = self._check_ranges(lows, highs)
+        positions = np.arange(self.output_length, dtype=np.int64)
+        return (
+            (positions >= lows[:, None]) & (positions < highs[:, None])
+        ).astype(np.float64)
+
+    def range_profiles(self, lows, highs) -> np.ndarray:
+        """With unit weights the profile is just the range width."""
+        lows, highs = self._check_ranges(lows, highs)
+        return (highs - lows).astype(np.float64)
 
 
 def _transform_error(message: str):

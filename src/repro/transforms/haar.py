@@ -104,6 +104,24 @@ def haar_weight_vector(padded_length: int) -> np.ndarray:
     return weights
 
 
+def _straddle_contribution(lows, highs, nodes, shift):
+    """Adjoint entry of level nodes ``nodes`` (block width ``2**shift``).
+
+    A leaf in the node's left half contributes ``+1`` to the node's
+    coefficient in the reconstruction, a leaf in its right half ``-1``;
+    the adjoint entry is therefore (left overlap) - (right overlap) with
+    the query range.  Blocks fully inside or outside the range cancel to
+    zero, which is why only the two boundary nodes per level survive.
+    """
+    half = 1 << (shift - 1)
+    start = nodes << shift
+    mid = start + half
+    stop = mid + half
+    left = np.maximum(0, np.minimum(highs, mid) - np.maximum(lows, start))
+    right = np.maximum(0, np.minimum(highs, stop) - np.maximum(lows, mid))
+    return (left - right).astype(np.float64)
+
+
 class HaarTransform(OneDimensionalTransform):
     """HWT over an ordinal domain of any size, with power-of-two padding."""
 
@@ -138,6 +156,71 @@ class HaarTransform(OneDimensionalTransform):
     def variance_factor(self) -> float:
         """Lemma 3 / §VI-C: ``H(A) = (2 + log2 m) / 2``."""
         return (2.0 + float(self._levels)) / 2.0
+
+    # ------------------------------------------------------------------
+    # Closed-form range adjoints (no dense reconstruction)
+    # ------------------------------------------------------------------
+    # A range indicator decomposes over the dyadic tree: a level-i node
+    # whose leaf block lies fully inside (or outside) the range
+    # contributes zero, so only the <= 2 nodes per level straddling the
+    # range boundaries appear in g — O(log m) nonzeros.  Padding needs no
+    # special handling: ranges live in [0, input_length), the padded
+    # leaves [input_length, 2**l) are simply never covered.
+
+    def adjoint_range(self, lo: int, hi: int) -> np.ndarray:
+        """Closed-form ``R^T r`` with ``O(log m)`` nonzero entries."""
+        lo, hi = self._check_range(lo, hi)
+        return self.adjoint_ranges([lo], [hi])[0]
+
+    def adjoint_ranges(self, lows, highs) -> np.ndarray:
+        """Batch adjoints, shape ``(n, 2**l)``; ``O(n log m)`` fill work."""
+        lows, highs = self._check_ranges(lows, highs)
+        count = lows.shape[0]
+        adjoints = np.zeros((count, self.output_length), dtype=np.float64)
+        nonempty = highs > lows
+        adjoints[:, 0] = highs - lows
+        rows = np.arange(count)[nonempty]
+        level_lows = lows[nonempty]
+        level_highs = highs[nonempty]
+        last = level_highs - 1
+        for level in range(1, self._levels + 1):
+            shift = self._levels - level + 1
+            offset = 1 << (level - 1)
+            node_lo = level_lows >> shift
+            node_hi = last >> shift
+            # When node_lo == node_hi the two writes coincide (same value).
+            adjoints[rows, offset + node_lo] = _straddle_contribution(
+                level_lows, level_highs, node_lo, shift
+            )
+            adjoints[rows, offset + node_hi] = _straddle_contribution(
+                level_lows, level_highs, node_hi, shift
+            )
+        return adjoints
+
+    def range_profiles(self, lows, highs) -> np.ndarray:
+        """``sum_j (g[j]/W[j])^2`` per range in ``O(log m)`` each.
+
+        Never allocates a length-``m`` vector: only the boundary nodes of
+        each level contribute, and their weights are ``2**(l-i+1)``.
+        """
+        lows, highs = self._check_ranges(lows, highs)
+        widths = (highs - lows).astype(np.float64)
+        profiles = (widths / float(self.padded_length)) ** 2
+        nonempty = highs > lows
+        last = np.maximum(highs - 1, lows)  # clamp keeps empty ranges in bounds
+        for level in range(1, self._levels + 1):
+            shift = self._levels - level + 1
+            weight_sq = float(1 << shift) ** 2
+            node_lo = lows >> shift
+            node_hi = last >> shift
+            g_lo = _straddle_contribution(lows, highs, node_lo, shift)
+            g_hi = np.where(
+                node_hi != node_lo,
+                _straddle_contribution(lows, highs, node_hi, shift),
+                0.0,
+            )
+            profiles += np.where(nonempty, (g_lo**2 + g_hi**2) / weight_sq, 0.0)
+        return profiles
 
     def __repr__(self) -> str:
         return (

@@ -126,6 +126,45 @@ class NominalTransform(OneDimensionalTransform):
         return mean_subtract(self._check_inverse_input(coefficients), self._groups)
 
     # ------------------------------------------------------------------
+    # Range adjoints (matrix-free, one O(num_nodes) pass per batch)
+    # ------------------------------------------------------------------
+    # The refined reconstruction is x = L M c with M the mean-subtraction
+    # map and L the Equation-5 accumulation, so g = M^T L^T r.  The
+    # coefficient of c(N) in a leaf value is the product of 1/fanout down
+    # N's path, which gives (L^T r)(N) the bottom-up recurrence
+    #
+    #     t(leaf node) = r(leaf),   t(N) = sum_children t(C) / fanout(N)
+    #
+    # and M is symmetric per sibling group (I - J/f), so M^T = M is just
+    # another mean subtraction.
+
+    def adjoint_range(self, lo: int, hi: int) -> np.ndarray:
+        """``R^T r`` including mean subtraction; no dense matrix built."""
+        lo, hi = self._check_range(lo, hi)
+        return self.adjoint_ranges([lo], [hi])[0]
+
+    def adjoint_ranges(self, lows, highs) -> np.ndarray:
+        """Batch adjoints, shape ``(n, num_nodes)``."""
+        lows, highs = self._check_ranges(lows, highs)
+        positions = np.arange(self.input_length, dtype=np.int64)
+        indicator = (
+            (positions[:, None] >= lows[None, :])
+            & (positions[:, None] < highs[None, :])
+        ).astype(np.float64)
+        transported = np.zeros((self.output_length, lows.shape[0]), dtype=np.float64)
+        transported[self._leaf_node_ids] = indicator
+        # Deepest level first; level 1 is the root and receives only.
+        for level_slice in reversed(self._levels[1:]):
+            ids = np.arange(level_slice.start, level_slice.stop)
+            parents = self._parent[ids]
+            np.add.at(
+                transported,
+                parents,
+                transported[ids] / self._fanout[parents][:, None],
+            )
+        return mean_subtract(transported, self._groups).T
+
+    # ------------------------------------------------------------------
     def weight_vector(self) -> np.ndarray:
         weights = np.ones(self.output_length, dtype=np.float64)
         if self.output_length > 1:

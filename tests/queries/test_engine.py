@@ -105,6 +105,66 @@ class TestEngine:
             engine.answer_with_interval(query, confidence=1.0)
 
 
+class TestBatchAnswers:
+    def test_matches_looped_single_queries(self, published, mixed_table):
+        """The acceptance criterion: batch == loop, to float tolerance."""
+        engine = QueryEngine(published)
+        queries = generate_workload(mixed_table.schema, 60, seed=13)
+        batch = engine.answer_all_with_intervals(queries, confidence=0.9)
+        assert len(batch) == 60
+        for index, query in enumerate(queries):
+            single = engine.answer_with_interval(query, confidence=0.9)
+            assert batch.estimates[index] == pytest.approx(single.estimate)
+            assert batch.noise_stds[index] == pytest.approx(single.noise_std)
+            assert batch.lowers[index] == pytest.approx(single.lower)
+            assert batch.uppers[index] == pytest.approx(single.upper)
+
+    def test_stds_match_independent_variance_path(self, published, mixed_table):
+        """Cross-check against the module-level exact-variance function
+        (a separate code path from the engine's compiled cache)."""
+        from repro.analysis.exact import query_noise_variance
+
+        engine = QueryEngine(published)
+        queries = generate_workload(mixed_table.schema, 40, seed=14)
+        batch = engine.answer_all_with_intervals(queries)
+        for index, query in enumerate(queries):
+            expected = query_noise_variance(
+                engine._transform, query, published.noise_magnitude
+            )
+            assert batch.noise_stds[index] ** 2 == pytest.approx(expected)
+
+    def test_getitem_and_iter(self, published, mixed_table):
+        engine = QueryEngine(published)
+        queries = generate_workload(mixed_table.schema, 5, seed=15)
+        batch = engine.answer_all_with_intervals(queries, confidence=0.8)
+        answers = list(batch)
+        assert len(answers) == 5
+        assert isinstance(batch[2], QueryAnswer)
+        assert batch[2] == answers[2]
+        assert answers[0].confidence == 0.8
+
+    def test_profile_cache_persists_across_calls(self, published, mixed_table):
+        """Repeat traffic hits the per-engine memo: after a first batch,
+        re-answering the same queries adds no new cache entries."""
+        engine = QueryEngine(published)
+        queries = generate_workload(mixed_table.schema, 30, seed=16)
+        first = engine.answer_all_with_intervals(queries)
+        sizes = [len(cache) for cache in engine._profiles._caches]
+        again = engine.answer_all_with_intervals(queries)
+        assert [len(cache) for cache in engine._profiles._caches] == sizes
+        np.testing.assert_allclose(again.noise_stds, first.noise_stds)
+
+    def test_empty_batch(self, published):
+        batch = QueryEngine(published).answer_all_with_intervals([])
+        assert len(batch) == 0
+
+    def test_confidence_validated(self, published, mixed_table):
+        engine = QueryEngine(published)
+        queries = generate_workload(mixed_table.schema, 2, seed=17)
+        with pytest.raises(QueryError):
+            engine.answer_all_with_intervals(queries, confidence=0.0)
+
+
 class TestMarginals:
     def test_values_match_matrix_marginal(self, published):
         engine = QueryEngine(published)

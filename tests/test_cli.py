@@ -76,6 +76,59 @@ class TestCommands:
         assert result.matrix.total == pytest.approx(2000, abs=600)
         assert np.isfinite(result.matrix.values).all()
 
+    def test_query_round_trip(self, tmp_path, capsys):
+        output = tmp_path / "release.npz"
+        main(
+            [
+                "publish",
+                str(output),
+                "--scale",
+                "0.05",
+                "--rows",
+                "2000",
+                "--mechanism",
+                "privelet+",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["query", str(output), "--queries", "7", "--confidence", "0.9"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "7 random range-count queries" in out
+        assert "90% intervals" in out
+        assert "noise std" in out
+        assert "mean noise std" in out
+
+    def test_query_sa_override(self, tmp_path, capsys):
+        output = tmp_path / "release.npz"
+        main(
+            [
+                "publish",
+                str(output),
+                "--scale",
+                "0.05",
+                "--rows",
+                "1000",
+                "--mechanism",
+                "privelet",
+            ]
+        )
+        capsys.readouterr()
+        # Explicit empty SA matches the plain-Privelet configuration.
+        assert main(["query", str(output), "--queries", "3", "--sa"]) == 0
+        assert "3 random range-count queries" in capsys.readouterr().out
+
+    def test_query_errors_exit_cleanly(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "missing.npz")]) == 2
+        assert "error:" in capsys.readouterr().err
+        output = tmp_path / "release.npz"
+        main(["publish", str(output), "--scale", "0.05", "--rows", "500"])
+        capsys.readouterr()
+        assert main(["query", str(output), "--confidence", "1.0"]) == 2
+        assert "confidence" in capsys.readouterr().err
+
     def test_publish_basic(self, tmp_path):
         output = tmp_path / "basic.npz"
         assert (
