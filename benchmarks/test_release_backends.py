@@ -1,0 +1,206 @@
+"""Benchmark: dense vs coefficient-space release backends.
+
+The coefficient-space release answers straight from the noisy HN
+coefficients — no inverse transform at publish time, no ``O(m)`` prefix
+-oracle build at serving time, ``O(log m)`` gathered coefficients per
+1-D range.  This benchmark publishes a 1-D ordinal domain at sizes up to
+``m = 2**22`` and measures, per size:
+
+* the coefficient backend's batch serving time (64 random ranges) and
+  per-query latency — expected to grow ~log m;
+* at the largest size, the cost of standing up the dense serving path
+  from the same release (materialize ``M*`` + build the prefix oracle),
+  which the ISSUE requires to be >= 50x slower than answering a whole
+  batch in coefficient space;
+* the serving-state memory of both backends.
+
+Set ``RELEASE_BENCH_SMOKE=1`` for a CI-sized run (smaller domains, no
+timing assertions — timers on shared runners are too noisy to gate on).
+In full mode the timing gates are re-measured up to three times before
+failing, so a single scheduler hiccup cannot redden tier-1.  Either way
+the numbers land in ``results/BENCH_release_backends.json`` so the perf
+trajectory accumulates run over run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.privelet import publish_ordinal_release
+from repro.queries.oracle import RangeSumOracle
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+BATCH_SIZE = 64
+#: Full-mode acceptance bars (dense stand-up vs one coefficient batch;
+#: per-query growth across a 16x domain growth).
+MIN_SETUP_SPEEDUP = 50.0
+MAX_PER_QUERY_GROWTH = 8.0
+ATTEMPTS = 3
+
+
+def _smoke() -> bool:
+    return os.environ.get("RELEASE_BENCH_SMOKE", "") not in {"", "0"}
+
+
+def _exponents() -> list[int]:
+    return [12, 14, 16] if _smoke() else [18, 20, 22]
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _random_boxes(m: int, count: int, rng) -> tuple[np.ndarray, np.ndarray]:
+    pairs = np.sort(rng.integers(0, m + 1, size=(count, 2)), axis=1)
+    return pairs[:, 0:1], pairs[:, 1:2]
+
+
+def _measure(rng) -> dict:
+    """One full sweep: coefficient points per size + dense at largest."""
+    points = []
+    largest = None
+    for exponent in _exponents():
+        m = 1 << exponent
+        counts = np.zeros(m)
+        hot = rng.integers(0, m, size=512)
+        counts[hot] += rng.integers(1, 50, size=hot.size)
+
+        start = time.perf_counter()
+        result = publish_ordinal_release(counts, 1.0, seed=exponent)
+        publish_seconds = time.perf_counter() - start
+        release = result.release
+
+        lows, highs = _random_boxes(m, BATCH_SIZE, rng)
+        batch_seconds = _best_of(lambda: release.answer_boxes(lows, highs), 7)
+        points.append(
+            {
+                "m": m,
+                "coeff_publish_seconds": publish_seconds,
+                "coeff_batch_seconds": batch_seconds,
+                "coeff_per_query_seconds": batch_seconds / BATCH_SIZE,
+                "coeff_nbytes": release.nbytes(),
+            }
+        )
+        largest = (m, result, release, lows, highs, batch_seconds)
+
+    # Dense serving-path stand-up at the largest size, from the same
+    # release: materialize M* + build the prefix oracle.
+    m, result, release, lows, highs, batch_seconds = largest
+    dense_holder = {}
+
+    def build_dense():
+        matrix = result.matrix  # inverse transform (not cached)
+        dense_holder["oracle"] = RangeSumOracle(matrix)
+        dense_holder["nbytes"] = matrix.values.nbytes + dense_holder["oracle"].nbytes
+
+    dense_setup_seconds = _best_of(build_dense, 2)
+    oracle = dense_holder["oracle"]
+    dense_batch_seconds = _best_of(lambda: oracle.answer_boxes(lows, highs), 7)
+    np.testing.assert_allclose(
+        release.answer_boxes(lows, highs),
+        oracle.answer_boxes(lows, highs),
+        rtol=1e-8,
+        atol=1e-6,
+    )
+    return {
+        "smoke": _smoke(),
+        "batch_size": BATCH_SIZE,
+        "points": points,
+        "dense_at_largest": {
+            "m": m,
+            "setup_seconds": dense_setup_seconds,
+            "batch_seconds": dense_batch_seconds,
+            "per_query_seconds": dense_batch_seconds / BATCH_SIZE,
+            "nbytes": dense_holder["nbytes"],
+            "setup_over_coeff_batch": dense_setup_seconds / batch_seconds,
+        },
+    }
+
+
+def _gates_pass(payload: dict) -> bool:
+    """The full-mode acceptance bars, as a predicate (for retries)."""
+    per_query = [p["coeff_per_query_seconds"] for p in payload["points"]]
+    return (
+        payload["dense_at_largest"]["setup_over_coeff_batch"] >= MIN_SETUP_SPEEDUP
+        and per_query[-1] < 1e-3
+        and per_query[-1] < MAX_PER_QUERY_GROWTH * max(per_query[0], 1e-6)
+    )
+
+
+def test_release_backend_crossover(record_result):
+    rng = np.random.default_rng(20100301)
+
+    # Correctness spot check at the smallest size: coefficient answers
+    # match the dense oracle over the materialized matrix.
+    m0 = 1 << _exponents()[0]
+    check = publish_ordinal_release(np.arange(m0, dtype=np.float64), 1.0, seed=0)
+    lows0, highs0 = _random_boxes(m0, 128, rng)
+    dense0 = RangeSumOracle(check.matrix)
+    np.testing.assert_allclose(
+        check.release.answer_boxes(lows0, highs0),
+        dense0.answer_boxes(lows0, highs0),
+        rtol=1e-9,
+        atol=1e-6,
+    )
+
+    # Wall-clock gates are noisy on shared machines: re-measure the
+    # whole sweep up to ATTEMPTS times and gate on the best attempt.
+    payload = _measure(rng)
+    if not _smoke():
+        for _ in range(ATTEMPTS - 1):
+            if _gates_pass(payload):
+                break
+            payload = _measure(rng)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_release_backends.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    points = payload["points"]
+    dense = payload["dense_at_largest"]
+    lines = [
+        f"{'m':>10}{'publish (s)':>14}{'batch64 (s)':>14}"
+        f"{'per-query (s)':>16}{'state (MB)':>12}"
+    ]
+    for point in points:
+        lines.append(
+            f"{point['m']:>10}{point['coeff_publish_seconds']:>14.4f}"
+            f"{point['coeff_batch_seconds']:>14.6f}"
+            f"{point['coeff_per_query_seconds']:>16.9f}"
+            f"{point['coeff_nbytes'] / 1e6:>12.1f}"
+        )
+    lines.append(
+        f"dense stand-up at m={dense['m']}: {dense['setup_seconds']:.4f} s "
+        f"(= {dense['setup_over_coeff_batch']:.0f}x one coefficient-space "
+        f"batch of {BATCH_SIZE}); dense state {dense['nbytes'] / 1e6:.1f} MB "
+        f"vs coefficient {points[-1]['coeff_nbytes'] / 1e6:.1f} MB"
+    )
+    record_result("release_backends", "\n".join(lines))
+
+    if _smoke():
+        return
+
+    # The ISSUE's acceptance bars: standing up the dense serving path at
+    # m >= 2^22 costs >= 50x answering an entire batch from coefficients,
+    # and per-query latency grows ~log m (the domain grew 16x between
+    # the endpoints, log m by ~1.22x).
+    assert dense["m"] >= 1 << 22
+    per_query = [p["coeff_per_query_seconds"] for p in points]
+    assert _gates_pass(payload), (
+        f"timing gates failed after {ATTEMPTS} attempts: "
+        f"setup speedup {dense['setup_over_coeff_batch']:.1f}x "
+        f"(bar {MIN_SETUP_SPEEDUP:.0f}x), per-query "
+        f"{per_query[0]:.2e}s -> {per_query[-1]:.2e}s "
+        f"(bar {MAX_PER_QUERY_GROWTH:.0f}x growth)"
+    )

@@ -39,13 +39,19 @@ from repro.analysis import (
 from repro.baselines import BarakMechanism, HayHierarchicalMechanism
 from repro.core import (
     BasicMechanism,
+    CoefficientRelease,
+    DenseRelease,
     PrivacyAccount,
     PriveletMechanism,
     PriveletPlusMechanism,
     PublishingMechanism,
     PublishResult,
+    Release,
     clamp_nonnegative,
+    convert_result,
+    publish_nominal_release,
     publish_nominal_vector,
+    publish_ordinal_release,
     publish_ordinal_vector,
     rescale_total,
     round_to_integers,
@@ -142,6 +148,12 @@ __all__ = [
     "select_sa",
     "publish_ordinal_vector",
     "publish_nominal_vector",
+    "publish_ordinal_release",
+    "publish_nominal_release",
+    "Release",
+    "DenseRelease",
+    "CoefficientRelease",
+    "convert_result",
     "PrivacyAccount",
     "HayHierarchicalMechanism",
     "BarakMechanism",

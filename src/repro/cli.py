@@ -27,6 +27,7 @@ from repro.core.accountant import PrivacyAccount
 from repro.core.basic import BasicMechanism
 from repro.core.privelet import PriveletMechanism
 from repro.core.privelet_plus import PriveletPlusMechanism, select_sa
+from repro.core.release import convert_result
 from repro.data.census import BRAZIL, US, census_schema, generate_census_table
 from repro.experiments.config import AccuracyConfig, TimingConfig
 from repro.experiments.figures import (
@@ -67,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--rows", type=int, default=50_000)
     figure.add_argument("--queries", type=int, default=5_000)
     figure.add_argument("--seed", type=int, default=20100301)
+    figure.add_argument(
+        "--representation",
+        choices=["dense", "coefficients"],
+        default="dense",
+        help="release representation the accuracy runs publish/serve with",
+    )
 
     publish = commands.add_parser("publish", help="publish a synthetic census table")
     publish.add_argument("output", help="output .npz path")
@@ -78,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--mechanism", choices=["basic", "privelet", "privelet+"], default="privelet+"
     )
     publish.add_argument("--seed", type=int, default=0)
+    publish.add_argument(
+        "--representation",
+        choices=["dense", "coefficients"],
+        default="dense",
+        help="dense writes M* (v1 archive); coefficients never inverts "
+        "the transform and writes the noisy coefficients (v2 archive)",
+    )
 
     query = commands.add_parser(
         "query", help="answer queries on a published archive with intervals"
@@ -91,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=None,
         help="override the SA set when the archive lacks mechanism details",
+    )
+    query.add_argument(
+        "--representation",
+        choices=["archive", "dense", "coefficients"],
+        default="archive",
+        help="serving backend: 'archive' keeps the stored representation, "
+        "the others convert before answering",
     )
 
     return parser
@@ -138,7 +159,7 @@ def _cmd_figure(args) -> int:
         if args.name in {"fig6", "fig7"}
         else run_relative_error_vs_selectivity
     )
-    print(format_accuracy_run(driver(spec, config)))
+    print(format_accuracy_run(driver(spec, config, representation=args.representation)))
     return 0
 
 
@@ -150,12 +171,18 @@ def _cmd_publish(args) -> int:
         "privelet": PriveletMechanism(),
         "privelet+": PriveletPlusMechanism(sa_names="auto"),
     }[args.mechanism]
-    result = mechanism.publish(table, args.epsilon, seed=args.seed + 1)
+    result = mechanism.publish(
+        table,
+        args.epsilon,
+        seed=args.seed + 1,
+        materialize=args.representation == "dense",
+    )
     save_result(args.output, result)
     print(
         f"published {table.num_rows} rows with {mechanism.name} at "
         f"epsilon={args.epsilon}: lambda={result.noise_magnitude:.2f}, "
-        f"variance bound={result.variance_bound:.4g}"
+        f"variance bound={result.variance_bound:.4g}, "
+        f"representation={result.representation}"
     )
     print(f"wrote {args.output}")
     return 0
@@ -164,14 +191,17 @@ def _cmd_publish(args) -> int:
 def _cmd_query(args) -> int:
     result = load_result(args.archive)
     sa_names = tuple(args.sa) if args.sa is not None else None
+    if args.representation != "archive":
+        result = convert_result(result, args.representation, sa_names=sa_names)
     engine = QueryEngine(result, sa_names=sa_names)
     queries = generate_workload(
-        result.matrix.schema, args.queries, seed=args.seed
+        result.release.schema, args.queries, seed=args.seed
     )
     batch = engine.answer_all_with_intervals(queries, confidence=args.confidence)
     print(
         f"{len(queries)} random range-count queries on {args.archive} "
-        f"(epsilon={result.epsilon}, {100 * args.confidence:.0f}% intervals)"
+        f"(epsilon={result.epsilon}, {100 * args.confidence:.0f}% intervals, "
+        f"{result.representation} backend)"
     )
     print(f"{'estimate':>12}{'noise std':>12}{'lower':>12}{'upper':>12}  query")
     for query, answer in zip(queries, batch):

@@ -12,8 +12,18 @@ from repro.core.laplace import (
 )
 from repro.core.privelet import (
     PriveletMechanism,
+    publish_nominal_release,
     publish_nominal_vector,
+    publish_ordinal_release,
     publish_ordinal_vector,
+)
+from repro.core.release import (
+    REPRESENTATIONS,
+    CoefficientRelease,
+    DenseRelease,
+    Release,
+    convert_result,
+    infer_sa_names,
 )
 from repro.core.postprocess import (
     clamp_nonnegative,
@@ -39,6 +49,14 @@ __all__ = [
     "select_sa",
     "publish_ordinal_vector",
     "publish_nominal_vector",
+    "publish_ordinal_release",
+    "publish_nominal_release",
+    "Release",
+    "DenseRelease",
+    "CoefficientRelease",
+    "REPRESENTATIONS",
+    "convert_result",
+    "infer_sa_names",
     "PrivacyAccount",
     "laplace_noise",
     "laplace_variance",

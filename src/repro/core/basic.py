@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.framework import PublishingMechanism, PublishResult
 from repro.core.laplace import laplace_noise, laplace_variance, magnitude_for_epsilon
+from repro.core.release import CoefficientRelease, DenseRelease
 from repro.data.frequency import FrequencyMatrix
 
 __all__ = ["BasicMechanism"]
@@ -26,16 +27,32 @@ class BasicMechanism(PublishingMechanism):
     """Laplace-perturb every frequency-matrix cell (Dwork et al.)."""
 
     name = "Basic"
+    supports_coefficient_release = True
 
     def publish_matrix(
-        self, matrix: FrequencyMatrix, epsilon: float, *, seed=None
+        self,
+        matrix: FrequencyMatrix,
+        epsilon: float,
+        *,
+        seed=None,
+        materialize: bool = True,
     ) -> PublishResult:
         epsilon = self._check_epsilon(epsilon)
         self._check_matrix(matrix)
         magnitude = magnitude_for_epsilon(epsilon, FREQUENCY_MATRIX_SENSITIVITY)
         noisy = matrix.values + laplace_noise(magnitude, matrix.shape, seed=seed)
+        # Basic's "coefficients" are the cells themselves (identity
+        # transform on every axis), so both representations store the
+        # same array.  Basic has no wavelet structure to exploit: the
+        # coefficient release's serving state is still O(m) (it prefix-
+        # sums the identity axes on first answer, like the oracle would);
+        # the switch exists for a uniform API, not to save memory here.
+        if materialize:
+            release = DenseRelease(FrequencyMatrix(matrix.schema, noisy))
+        else:
+            release = CoefficientRelease(matrix.schema, matrix.schema.names, noisy)
         return PublishResult(
-            matrix=FrequencyMatrix(matrix.schema, noisy),
+            release=release,
             epsilon=epsilon,
             noise_magnitude=magnitude,
             generalized_sensitivity=1.0,

@@ -18,14 +18,25 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.framework import PublishResult
 from repro.core.laplace import laplace_noise, magnitude_for_epsilon
 from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
 from repro.data.hierarchy import Hierarchy
+from repro.data.schema import Schema
 from repro.errors import PrivacyError
 from repro.transforms.haar import HaarTransform
 from repro.transforms.nominal import NominalTransform
+from repro.utils.validation import ensure_epsilon as _check_epsilon
 
-__all__ = ["PriveletMechanism", "publish_ordinal_vector", "publish_nominal_vector"]
+__all__ = [
+    "PriveletMechanism",
+    "publish_ordinal_vector",
+    "publish_nominal_vector",
+    "publish_ordinal_release",
+    "publish_nominal_release",
+]
 
 
 class PriveletMechanism(PriveletPlusMechanism):
@@ -40,12 +51,6 @@ class PriveletMechanism(PriveletPlusMechanism):
 
     def __repr__(self) -> str:
         return "PriveletMechanism()"
-
-
-def _check_epsilon(epsilon: float) -> float:
-    if not (isinstance(epsilon, (int, float)) and epsilon > 0):
-        raise PrivacyError(f"epsilon must be a positive number, got {epsilon!r}")
-    return float(epsilon)
 
 
 def publish_ordinal_vector(counts, epsilon: float, *, seed=None) -> np.ndarray:
@@ -87,3 +92,47 @@ def publish_nominal_vector(
     coefficients = transform.forward(counts)
     noisy = coefficients + laplace_noise(magnitude / transform.weight_vector(), seed=seed)
     return transform.inverse(noisy, refine=True)
+
+
+def publish_ordinal_release(
+    counts, epsilon: float, *, seed=None, materialize: bool = False, name: str = "value"
+) -> PublishResult:
+    """1-D Privelet over an ordinal domain as a full :class:`PublishResult`.
+
+    The release-typed sibling of :func:`publish_ordinal_vector`: by
+    default (``materialize=False``) the result carries a
+    :class:`~repro.core.release.CoefficientRelease`, so a domain of
+    ``m = 2**20`` (or far larger) is published and served without ever
+    allocating ``M*`` or a prefix oracle — every range answer gathers
+    ``O(log m)`` coefficients (Equation 3).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise PrivacyError("publish_ordinal_release expects a 1-D frequency vector")
+    schema = Schema([OrdinalAttribute(name, len(counts))])
+    return PriveletMechanism().publish_matrix(
+        FrequencyMatrix(schema, counts), epsilon, seed=seed, materialize=materialize
+    )
+
+
+def publish_nominal_release(
+    counts,
+    hierarchy: Hierarchy,
+    epsilon: float,
+    *,
+    seed=None,
+    materialize: bool = False,
+    name: str = "value",
+) -> PublishResult:
+    """1-D Privelet over a nominal domain as a full :class:`PublishResult`.
+
+    Like :func:`publish_ordinal_release` but with the §V nominal
+    transform; ``counts`` is indexed by the hierarchy's DFS leaf order.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise PrivacyError("publish_nominal_release expects a 1-D frequency vector")
+    schema = Schema([NominalAttribute(name, hierarchy)])
+    return PriveletMechanism().publish_matrix(
+        FrequencyMatrix(schema, counts), epsilon, seed=seed, materialize=materialize
+    )

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.framework import PublishingMechanism, PublishResult
 from repro.core.laplace import laplace_noise, laplace_variance, magnitude_for_epsilon
+from repro.core.release import CoefficientRelease, DenseRelease
 from repro.data.frequency import FrequencyMatrix
 from repro.data.schema import Schema
 from repro.transforms.multidim import HNTransform, weight_tensor
@@ -61,6 +62,8 @@ class PriveletPlusMechanism(PublishingMechanism):
     BasicMechanism` for clarity).  ``sa_names="auto"`` applies
     :func:`select_sa` at publish time.
     """
+
+    supports_coefficient_release = True
 
     def __init__(self, sa_names="auto"):
         if sa_names != "auto":
@@ -95,10 +98,23 @@ class PriveletPlusMechanism(PublishingMechanism):
 
     # ------------------------------------------------------------------
     def publish_matrix(
-        self, matrix: FrequencyMatrix, epsilon: float, *, seed=None
+        self,
+        matrix: FrequencyMatrix,
+        epsilon: float,
+        *,
+        seed=None,
+        materialize: bool = True,
     ) -> PublishResult:
+        """Publish with the vectorized HN pipeline.
+
+        ``materialize=False`` stops after the noise step: the result
+        carries a :class:`CoefficientRelease` holding exactly the noisy
+        coefficients (same Laplace draws as the dense path under the same
+        seed), and the inverse transform is never run.
+        """
         epsilon = self._check_epsilon(epsilon)
         self._check_matrix(matrix)
+        sa = self.sa_for(matrix.schema)
         transform = self._transform(matrix.schema)
         rho = transform.generalized_sensitivity()
         magnitude = magnitude_for_epsilon(epsilon, 2.0 * rho)
@@ -106,17 +122,21 @@ class PriveletPlusMechanism(PublishingMechanism):
         coefficients = transform.forward(matrix.values)
         magnitudes = magnitude / weight_tensor(transform.weight_vectors())
         noisy = coefficients + laplace_noise(magnitudes, seed=seed)
-        reconstructed = transform.inverse(noisy, refine=True)
+        if materialize:
+            reconstructed = transform.inverse(noisy, refine=True)
+            release = DenseRelease(FrequencyMatrix(matrix.schema, reconstructed))
+        else:
+            release = CoefficientRelease(matrix.schema, sa, noisy)
 
         return PublishResult(
-            matrix=FrequencyMatrix(matrix.schema, reconstructed),
+            release=release,
             epsilon=epsilon,
             noise_magnitude=magnitude,
             generalized_sensitivity=rho,
             variance_bound=self.variance_bound(matrix.schema, epsilon),
             details={
                 "mechanism": self.name,
-                "sa": self.sa_for(matrix.schema),
+                "sa": sa,
                 "coefficient_shape": transform.output_shape,
             },
         )
@@ -143,7 +163,7 @@ class PriveletPlusMechanism(PublishingMechanism):
             magnitude = magnitude_for_epsilon(epsilon, 2.0)
             noisy = matrix.values + laplace_noise(magnitude, matrix.shape, seed=rng)
             return PublishResult(
-                matrix=FrequencyMatrix(schema, noisy),
+                release=DenseRelease(FrequencyMatrix(schema, noisy)),
                 epsilon=epsilon,
                 noise_magnitude=magnitude,
                 generalized_sensitivity=1.0,
@@ -170,7 +190,7 @@ class PriveletPlusMechanism(PublishingMechanism):
         restored = np.moveaxis(out, range(len(sa_axes)), sa_axes)
 
         return PublishResult(
-            matrix=FrequencyMatrix(schema, restored),
+            release=DenseRelease(FrequencyMatrix(schema, restored)),
             epsilon=epsilon,
             noise_magnitude=magnitude,
             generalized_sensitivity=rho,

@@ -61,6 +61,7 @@ def run_square_error_vs_coverage(
     config: AccuracyConfig | None = None,
     *,
     prepared=None,
+    representation: str = "dense",
 ) -> AccuracyRun:
     """Figure 6 (Brazil) / Figure 7 (US): average square error vs coverage."""
     config = config or AccuracyConfig.for_environment()
@@ -76,6 +77,7 @@ def run_square_error_vs_coverage(
         num_buckets=config.num_buckets,
         num_tuples=table.num_rows,
         seed=config.seed + 2,
+        representation=representation,
     )
 
 
@@ -84,6 +86,7 @@ def run_relative_error_vs_selectivity(
     config: AccuracyConfig | None = None,
     *,
     prepared=None,
+    representation: str = "dense",
 ) -> AccuracyRun:
     """Figure 8 (Brazil) / Figure 9 (US): average relative error vs selectivity."""
     config = config or AccuracyConfig.for_environment()
@@ -99,6 +102,7 @@ def run_relative_error_vs_selectivity(
         num_buckets=config.num_buckets,
         num_tuples=table.num_rows,
         seed=config.seed + 3,
+        representation=representation,
     )
 
 

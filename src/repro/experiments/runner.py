@@ -110,6 +110,7 @@ def run_accuracy(
     num_buckets: int = 5,
     num_tuples: int | None = None,
     seed=None,
+    representation: str = "dense",
 ) -> AccuracyRun:
     """Measure bucketed average errors for every (mechanism, ε) pair.
 
@@ -117,11 +118,18 @@ def run_accuracy(
     ``measure="coverage"`` reproduces Figures 6–7;
     ``metric="relative"`` with ``measure="selectivity"`` reproduces
     Figures 8–9 (the relative metric applies the 0.1%·n sanity bound).
+
+    ``representation="coefficients"`` publishes and serves without
+    materializing ``M*`` for every mechanism that supports it (the noise
+    draws — hence the measured errors — are identical under the same
+    seed); mechanisms that do not support it fall back to dense.
     """
     if metric not in {"square", "relative"}:
         raise ValueError(f"unknown metric {metric!r}")
     if measure not in {"coverage", "selectivity"}:
         raise ValueError(f"unknown measure {measure!r}")
+    if representation not in {"dense", "coefficients"}:
+        raise ValueError(f"unknown representation {representation!r}")
 
     measure_values = (
         workload.coverages if measure == "coverage" else workload.selectivities
@@ -141,7 +149,17 @@ def run_accuracy(
     compiled: CompiledWorkload | None = None
     for mechanism in mechanisms:
         for epsilon in epsilons:
-            result = mechanism.publish_matrix(exact_matrix, epsilon, seed=next(stream))
+            if (
+                representation == "coefficients"
+                and mechanism.supports_coefficient_release
+            ):
+                result = mechanism.publish_matrix(
+                    exact_matrix, epsilon, seed=next(stream), materialize=False
+                )
+            else:
+                result = mechanism.publish_matrix(
+                    exact_matrix, epsilon, seed=next(stream)
+                )
             engine = _engine_for(result)
             predicted = None
             if engine is not None:
@@ -173,15 +191,25 @@ def run_accuracy(
     )
 
 
-def time_mechanism(mechanism: PublishingMechanism, table, epsilon: float, *, repeats: int = 1, seed=None) -> float:
+def time_mechanism(
+    mechanism: PublishingMechanism,
+    table,
+    epsilon: float,
+    *,
+    repeats: int = 1,
+    seed=None,
+    materialize: bool = True,
+) -> float:
     """Wall-clock seconds for one end-to-end publish (min over repeats).
 
     Includes the table -> frequency-matrix step, matching the paper's
     "computation time" which covers the whole publishing pipeline.
+    ``materialize=False`` times the coefficient-space publish (no inverse
+    transform).
     """
     best = float("inf")
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
-        mechanism.publish(table, epsilon, seed=seed)
+        mechanism.publish(table, epsilon, seed=seed, materialize=materialize)
         best = min(best, time.perf_counter() - start)
     return best

@@ -1,11 +1,25 @@
 """Persistence for published results.
 
-A data publisher runs the mechanism once and distributes the noisy
-frequency matrix; consumers need to reload it with its schema and privacy
-accounting intact.  This module stores a
-:class:`~repro.core.framework.PublishResult` as a single ``.npz`` archive:
-the matrix as an array, the schema as a JSON description (attribute
-kinds, domain sizes, hierarchy structure), and the accounting scalars.
+A data publisher runs the mechanism once and distributes the release;
+consumers need to reload it with its schema and privacy accounting
+intact.  This module stores a
+:class:`~repro.core.framework.PublishResult` as a single ``.npz`` archive
+in one of two **formats**:
+
+* **v1** (``format: 1``, the original layout): the dense noisy matrix
+  under ``values`` plus a JSON header (schema description, accounting
+  scalars, details).  Archives written before the format field existed
+  carry no ``format`` key and are treated as v1.
+* **v2** (``format: 2``): a coefficient-space release — the raw noisy
+  coefficient tensor under ``coefficients`` plus the same header
+  extended with ``representation`` and the ordered ``sa`` set.  A v2
+  archive of a 1-D domain with ``m = 2**24`` is served directly from its
+  coefficients; the dense ``M*`` is never stored nor rebuilt.
+
+The format is chosen by the result's representation: dense releases save
+as v1 (so older readers keep working), coefficient releases as v2.  Both
+load back to a :class:`PublishResult` that answers any workload
+identically to the saved one.
 
 Hierarchies are serialized by their parent arrays + labels, which is
 enough to rebuild an identical :class:`~repro.data.hierarchy.Hierarchy`
@@ -20,6 +34,7 @@ import json
 import numpy as np
 
 from repro.core.framework import PublishResult
+from repro.core.release import CoefficientRelease, DenseRelease
 from repro.data.attributes import NominalAttribute, OrdinalAttribute
 from repro.data.frequency import FrequencyMatrix
 from repro.data.hierarchy import Hierarchy, Node
@@ -29,6 +44,8 @@ from repro.errors import ReproError
 __all__ = ["save_result", "load_result", "schema_to_dict", "schema_from_dict"]
 
 _FORMAT_VERSION = 1
+#: Archive format for coefficient-space releases.
+_COEFFICIENT_FORMAT_VERSION = 2
 
 
 def _hierarchy_to_dict(hierarchy: Hierarchy) -> dict:
@@ -90,33 +107,66 @@ def schema_from_dict(payload: dict) -> Schema:
 
 
 def save_result(path, result: PublishResult) -> None:
-    """Write a published result to ``path`` (``.npz`` archive)."""
+    """Write a published result to ``path`` (``.npz`` archive).
+
+    Dense releases write the v1 layout; coefficient releases the v2
+    layout (coefficients + SA set, no dense matrix).
+    """
     header = {
-        "schema": schema_to_dict(result.matrix.schema),
+        "schema": schema_to_dict(result.release.schema),
         "epsilon": result.epsilon,
         "noise_magnitude": result.noise_magnitude,
         "generalized_sensitivity": result.generalized_sensitivity,
         "variance_bound": result.variance_bound,
         "details": {k: _jsonable(v) for k, v in result.details.items()},
     }
+    release = result.release
+    if isinstance(release, CoefficientRelease):
+        header["format"] = _COEFFICIENT_FORMAT_VERSION
+        header["representation"] = "coefficients"
+        header["sa"] = list(release.sa_names)
+        arrays = {"coefficients": release.coefficients}
+    else:
+        header["format"] = _FORMAT_VERSION
+        header["representation"] = "dense"
+        arrays = {"values": release.to_matrix().values}
     np.savez_compressed(
         path,
-        values=result.matrix.values,
         header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        **arrays,
     )
 
 
 def load_result(path) -> PublishResult:
-    """Reload a result written by :func:`save_result`."""
+    """Reload a result written by :func:`save_result` (either format)."""
     with np.load(path) as archive:
         try:
             header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
-            values = archive["values"]
+        except KeyError as exc:
+            raise ReproError(f"not a repro result archive: missing {exc}") from exc
+        format_version = header.get("format", _FORMAT_VERSION)
+        try:
+            if format_version == _FORMAT_VERSION:
+                payload = archive["values"]
+            elif format_version == _COEFFICIENT_FORMAT_VERSION:
+                payload = archive["coefficients"]
+            else:
+                raise ReproError(
+                    f"unsupported result archive format {format_version!r}"
+                )
         except KeyError as exc:
             raise ReproError(f"not a repro result archive: missing {exc}") from exc
     schema = schema_from_dict(header["schema"])
+    if format_version == _COEFFICIENT_FORMAT_VERSION:
+        try:
+            sa_names = tuple(header["sa"])
+        except KeyError as exc:
+            raise ReproError("coefficient archive lacks its SA set") from exc
+        release = CoefficientRelease(schema, sa_names, payload)
+    else:
+        release = DenseRelease(FrequencyMatrix(schema, payload))
     return PublishResult(
-        matrix=FrequencyMatrix(schema, values),
+        release=release,
         epsilon=float(header["epsilon"]),
         noise_magnitude=float(header["noise_magnitude"]),
         generalized_sensitivity=float(header["generalized_sensitivity"]),

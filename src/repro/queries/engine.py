@@ -15,12 +15,24 @@ mechanism configuration, not the data).  :class:`QueryEngine` packages:
   quantile to the Laplace one when the effective term count is tiny).
 
 The primary entry point for traffic is the **batch API**
-(:meth:`QueryEngine.answer_all_with_intervals`): one vectorized oracle
+(:meth:`QueryEngine.answer_all_with_intervals`): one vectorized backend
 gather plus one compiled variance pass over the whole batch, with the
 per-axis range profiles memoized across calls on the same engine — so an
 OLAP dashboard re-asking overlapping ranges pays for each distinct range
 once over the engine's lifetime.  The single-query methods are thin
 wrappers over the batch path.
+
+Answer backends
+---------------
+Point answers come from the result's :class:`~repro.core.release.
+Release`, which is the engine's **answer-backend protocol** (``schema``,
+``answer_boxes``, ``marginal``): a :class:`~repro.core.release.
+DenseRelease` serves from the prefix-sum oracle exactly as before, while
+a :class:`~repro.core.release.CoefficientRelease` serves by sparse
+adjoint gathers over the noisy coefficients — same answers, no dense
+``M*``.  Everything else in the engine (exact variances, intervals,
+marginal stds) already depended only on the mechanism configuration, so
+it is representation-independent by construction.
 """
 
 from __future__ import annotations
@@ -32,12 +44,16 @@ import numpy as np
 
 from repro.analysis.exact import AxisProfileCache, query_boxes
 from repro.core.framework import PublishResult
+from repro.core.release import CoefficientRelease, infer_sa_names
 from repro.errors import QueryError
-from repro.queries.oracle import RangeSumOracle
 from repro.queries.query import RangeCountQuery
 from repro.transforms.multidim import HNTransform
+from repro.utils.stats import gaussian_quantile
 
 __all__ = ["QueryAnswer", "BatchQueryAnswers", "QueryEngine"]
+
+#: Back-compat alias — the quantile now lives in :mod:`repro.utils.stats`.
+_gaussian_quantile = gaussian_quantile
 
 
 @dataclass(frozen=True)
@@ -85,38 +101,6 @@ class BatchQueryAnswers:
         return (self[index] for index in range(len(self)))
 
 
-def _gaussian_quantile(p: float) -> float:
-    """Inverse standard-normal CDF via the Acklam rational approximation.
-
-    Accurate to ~1e-9 over (0, 1); avoids a scipy dependency in the
-    query path (scipy is only used by the Barak baseline).
-    """
-    if not 0.0 < p < 1.0:
-        raise QueryError(f"quantile probability must be in (0, 1), got {p}")
-    # Coefficients for the central and tail regions.
-    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
-         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
-    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
-         6.680131188771972e01, -1.328068155288572e01)
-    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
-         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
-    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
-         3.754408661907416e00)
-    p_low = 0.02425
-    if p < p_low:
-        q = math.sqrt(-2.0 * math.log(p))
-        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
-            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
-        )
-    if p > 1.0 - p_low:
-        return -_gaussian_quantile(1.0 - p)
-    q = p - 0.5
-    r = q * q
-    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
-        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
-    )
-
-
 class QueryEngine:
     """Answer queries on one :class:`PublishResult` with noise accounting.
 
@@ -131,19 +115,25 @@ class QueryEngine:
 
     def __init__(self, result: PublishResult, *, sa_names=None):
         self._result = result
-        schema = result.matrix.schema
-        if sa_names is None:
-            if result.details.get("mechanism") == "Basic":
-                sa_names = tuple(schema.names)
-            elif "sa" in result.details:
-                sa_names = tuple(result.details["sa"])
-            else:
+        self._release = result.release
+        schema = self._release.schema
+        if isinstance(self._release, CoefficientRelease):
+            # A coefficient release carries its own configuration; an
+            # explicit override must agree with it, otherwise the
+            # uncertainty math would describe a different release than
+            # the one answering the queries.
+            if sa_names is not None and frozenset(sa_names) != frozenset(
+                self._release.sa_names
+            ):
                 raise QueryError(
-                    "cannot infer the mechanism configuration from the result; "
-                    "pass sa_names explicitly"
+                    f"sa_names {tuple(sa_names)} conflicts with the "
+                    f"release's own SA set {self._release.sa_names}"
                 )
-        self._transform = HNTransform(schema, sa_names)
-        self._oracle = RangeSumOracle(result.matrix)
+            self._transform = self._release.transform
+        else:
+            if sa_names is None:
+                sa_names = infer_sa_names(result)
+            self._transform = HNTransform(schema, sa_names)
         # Per-axis range -> profile memo, shared by every uncertainty
         # call on this engine (batch misses fill it vectorized).
         self._profiles = AxisProfileCache(self._transform.transforms)
@@ -151,7 +141,12 @@ class QueryEngine:
     # ------------------------------------------------------------------
     @property
     def schema(self):
-        return self._result.matrix.schema
+        return self._release.schema
+
+    @property
+    def release(self):
+        """The answer backend this engine serves point answers from."""
+        return self._release
 
     @property
     def transform(self) -> HNTransform:
@@ -159,8 +154,10 @@ class QueryEngine:
         return self._transform
 
     def answer(self, query: RangeCountQuery) -> float:
-        """Point answer from the published matrix."""
-        return self._oracle.answer(query)
+        """Point answer from the published release."""
+        if query.schema.shape != self._release.schema.shape:
+            raise QueryError("query schema does not match the release's shape")
+        return self._release.answer_box(query.box())
 
     def noise_variance(self, query: RangeCountQuery) -> float:
         """Exact noise variance of this query's answer (data-free)."""
@@ -202,10 +199,10 @@ class QueryEngine:
             raise QueryError(f"confidence must be in (0, 1), got {confidence}")
         confidence = float(confidence)
         queries = list(queries)
-        estimates = self._oracle.answer_all(queries)
+        estimates = self.answer_all(queries)
         stds = np.sqrt(self.noise_variances(queries))
         tail = (1.0 - confidence) / 2.0
-        gaussian_multiplier = -_gaussian_quantile(tail)
+        gaussian_multiplier = -gaussian_quantile(tail)
         # Exact Laplace quantile for a *single* Laplace with the same
         # variance: scale = std / sqrt(2); P(|X| > w) = exp(-w/scale).
         laplace_multiplier = -math.log(2.0 * tail) / math.sqrt(2.0)
@@ -219,8 +216,9 @@ class QueryEngine:
         )
 
     def answer_all(self, queries) -> np.ndarray:
-        """Bulk point answers."""
-        return self._oracle.answer_all(queries)
+        """Bulk point answers (one vectorized backend gather)."""
+        lows, highs = query_boxes(queries, self._transform.input_shape)
+        return self._release.answer_boxes(lows, highs)
 
     def marginal_with_std(self, attribute_names) -> tuple[np.ndarray, np.ndarray]:
         """A DP marginal table plus the exact noise std of every cell.
@@ -238,7 +236,7 @@ class QueryEngine:
         if len(set(keep_axes)) != len(keep_axes):
             raise QueryError(f"duplicate attribute names: {names}")
 
-        values = self._result.matrix.marginal(names)
+        values = self._release.marginal(names)
         factor = 2.0 * self._result.noise_magnitude**2
         per_axis = []
         for axis, transform in enumerate(self._transform.transforms):
@@ -259,5 +257,6 @@ class QueryEngine:
     def __repr__(self) -> str:
         return (
             f"QueryEngine(epsilon={self._result.epsilon}, "
-            f"shape={self._result.matrix.shape})"
+            f"shape={self._release.schema.shape}, "
+            f"backend={self._release.representation})"
         )

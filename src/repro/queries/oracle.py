@@ -15,6 +15,7 @@ import numpy as np
 from repro.data.frequency import FrequencyMatrix
 from repro.errors import QueryError
 from repro.queries.query import RangeCountQuery
+from repro.utils.validation import ensure_boxes
 
 __all__ = ["RangeSumOracle"]
 
@@ -40,6 +41,11 @@ class RangeSumOracle:
     @property
     def shape(self) -> tuple[int, ...]:
         return self._shape
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the prefix array (the oracle's whole state)."""
+        return int(self._prefix.nbytes)
 
     def box_sum(self, box) -> float:
         """Sum of the half-open box ``[(lo, hi), ...]`` via the prefix array."""
@@ -82,12 +88,23 @@ class RangeSumOracle:
             for axis, (lo, hi) in enumerate(query.box()):
                 lows[row, axis] = lo
                 highs[row, axis] = hi
+        return self.answer_boxes(lows, highs)
+
+    def answer_boxes(self, lows, highs) -> np.ndarray:
+        """Bulk box sums from ``(n, d)`` low/high bound arrays.
+
+        The array-level core of :meth:`answer_all`, and the dense
+        answer-backend primitive (:class:`repro.core.release.
+        DenseRelease` serves through it).
+        """
+        lows, highs = ensure_boxes(lows, highs, self._shape)
+        d = len(self._shape)
         flat = self._prefix.reshape(-1)
         strides = np.asarray(
             [int(np.prod(self._prefix.shape[axis + 1 :])) for axis in range(d)],
             dtype=np.int64,
         )
-        totals = np.zeros(len(queries), dtype=np.float64)
+        totals = np.zeros(lows.shape[0], dtype=np.float64)
         for corner in self._corners:
             picks = np.where(np.asarray(corner, dtype=bool), highs, lows)
             sign = -1.0 if (d - sum(corner)) % 2 else 1.0

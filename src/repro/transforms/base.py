@@ -111,6 +111,25 @@ class OneDimensionalTransform:
         weights = self._cached_weight_vector()
         return np.sum((adjoints / weights) ** 2, axis=-1)
 
+    def sparse_adjoint_ranges(self, lows, highs) -> tuple[np.ndarray, np.ndarray]:
+        """Range adjoints as aligned ``(indices, values)`` arrays.
+
+        Both arrays have shape ``(len(lows), k)`` where ``k`` is a
+        transform-specific support width; ``sum_a values[q, a] * c[indices
+        [q, a]]`` is the range-count answer of query ``q`` on coefficients
+        ``c``.  Padding entries carry ``values == 0`` (their index may be
+        any in-bounds position).  This is the gather primitive coefficient
+        -space releases serve answers through.  The base implementation is
+        dense (``k = output_length``) — exact but no sparser than
+        :meth:`adjoint_ranges`; transforms with structured adjoints
+        (Haar: ``k = O(log m)``) override it.
+        """
+        adjoints = self.adjoint_ranges(lows, highs)
+        indices = np.broadcast_to(
+            np.arange(self.output_length, dtype=np.int64), adjoints.shape
+        )
+        return indices, adjoints
+
     # -- shared caches and validation ----------------------------------
     def _cached_weight_vector(self) -> np.ndarray:
         """The weight vector, computed once per instance (do not mutate)."""

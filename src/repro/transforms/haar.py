@@ -197,6 +197,44 @@ class HaarTransform(OneDimensionalTransform):
             )
         return adjoints
 
+    def sparse_adjoint_ranges(self, lows, highs) -> tuple[np.ndarray, np.ndarray]:
+        """Compact adjoints: ``k = 1 + 2 log2 m`` entries per range.
+
+        Column 0 is the base coefficient; each level contributes its two
+        boundary nodes (coinciding or zero-valued columns when the range
+        straddles fewer nodes).  This is what lets a coefficient-space
+        release answer a range with ``O(log m)`` gathered coefficients
+        instead of reconstructing ``M*``.
+        """
+        lows, highs = self._check_ranges(lows, highs)
+        count = lows.shape[0]
+        support = 1 + 2 * self._levels
+        indices = np.zeros((count, support), dtype=np.int64)
+        values = np.zeros((count, support), dtype=np.float64)
+        values[:, 0] = (highs - lows).astype(np.float64)
+        nonempty = highs > lows
+        # Clamped positions keep node ids in-bounds for empty ranges
+        # (whose values are masked to zero anyway).
+        safe_lows = np.minimum(lows, self.padded_length - 1)
+        last = np.clip(highs - 1, 0, self.padded_length - 1)
+        for level in range(1, self._levels + 1):
+            shift = self._levels - level + 1
+            offset = 1 << (level - 1)
+            node_lo = safe_lows >> shift
+            node_hi = last >> shift
+            g_lo = _straddle_contribution(lows, highs, node_lo, shift)
+            g_hi = np.where(
+                node_hi != node_lo,
+                _straddle_contribution(lows, highs, node_hi, shift),
+                0.0,
+            )
+            column = 2 * level - 1
+            indices[:, column] = offset + node_lo
+            indices[:, column + 1] = offset + node_hi
+            values[:, column] = np.where(nonempty, g_lo, 0.0)
+            values[:, column + 1] = np.where(nonempty, g_hi, 0.0)
+        return indices, values
+
     def range_profiles(self, lows, highs) -> np.ndarray:
         """``sum_j (g[j]/W[j])^2`` per range in ``O(log m)`` each.
 

@@ -1,7 +1,10 @@
-"""Shared utilities: random-number handling and argument validation."""
+"""Shared utilities: random-number handling, validation, and statistics."""
 
 from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.stats import gaussian_quantile
 from repro.utils.validation import (
+    ensure_boxes,
+    ensure_epsilon,
     ensure_in_range,
     ensure_positive,
     ensure_positive_int,
@@ -12,6 +15,9 @@ from repro.utils.validation import (
 __all__ = [
     "as_generator",
     "spawn_generators",
+    "gaussian_quantile",
+    "ensure_boxes",
+    "ensure_epsilon",
     "ensure_in_range",
     "ensure_positive",
     "ensure_positive_int",

@@ -10,6 +10,49 @@ from __future__ import annotations
 import numbers
 
 
+def ensure_boxes(lows, highs, shape):
+    """Validate ``(n, d)`` half-open box-bound arrays against ``shape``.
+
+    Returns the bounds as int64 arrays.  The one validator every bulk
+    box-answering path shares (the prefix-sum oracle and the release
+    backends), so shape/bounds errors read identically everywhere.
+    Raises :class:`repro.errors.QueryError`.
+    """
+    import numpy as np
+
+    from repro.errors import QueryError
+
+    lows = np.asarray(lows, dtype=np.int64)
+    highs = np.asarray(highs, dtype=np.int64)
+    if lows.ndim != 2 or lows.shape != highs.shape or lows.shape[1] != len(shape):
+        raise QueryError(
+            f"expected (n, {len(shape)}) box-bound arrays, got shapes "
+            f"{lows.shape} and {highs.shape}"
+        )
+    for axis, size in enumerate(shape):
+        lo, hi = lows[:, axis], highs[:, axis]
+        if lo.size and not (lo.min() >= 0 and np.all(lo <= hi) and hi.max() <= size):
+            raise QueryError(
+                f"a range is out of bounds for axis {axis} of size {size}"
+            )
+    return lows, highs
+
+
+def ensure_epsilon(epsilon) -> float:
+    """Validate a differential-privacy budget ε (> 0), as a float.
+
+    The single validator every mechanism shares (Basic, Privelet,
+    Privelet+, and the vector entry points all used to carry copies of
+    this check).  Raises :class:`repro.errors.PrivacyError` so the error
+    a caller sees is the same regardless of the entry point.
+    """
+    from repro.errors import PrivacyError
+
+    if not (isinstance(epsilon, (int, float)) and epsilon > 0):
+        raise PrivacyError(f"epsilon must be a positive number, got {epsilon!r}")
+    return float(epsilon)
+
+
 def ensure_positive(value, name: str) -> float:
     """Return ``value`` as a float, raising ``ValueError`` unless it is > 0."""
     if not isinstance(value, numbers.Real):

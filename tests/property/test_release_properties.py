@@ -1,0 +1,208 @@
+"""Property tests for release representations and archive round trips.
+
+Two invariants the coefficient-space refactor must hold everywhere:
+
+* **Representation parity** — a mechanism published with the *same seed*
+  draws the same Laplace noise whether or not it materializes, so the
+  dense and coefficient releases answer every query identically (up to
+  floating-point reassociation in the reconstruction).
+* **Archive fidelity** — a result saved and reloaded in *either* archive
+  format answers a randomized workload exactly as the in-memory result
+  does, and pre-v2 (hand-built v1) archives still load.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import BasicMechanism
+from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.core.release import CoefficientRelease, DenseRelease
+from repro.data.attributes import NominalAttribute, OrdinalAttribute
+from repro.data.frequency import FrequencyMatrix
+from repro.data.hierarchy import balanced_hierarchy, flat_hierarchy, two_level_hierarchy
+from repro.data.schema import Schema
+from repro.io import load_result, save_result, schema_to_dict
+from repro.queries.engine import QueryEngine
+from repro.queries.workload import generate_workload
+
+
+@st.composite
+def schema_matrix_sa(draw):
+    """A small mixed schema, a counts matrix, and an SA subset."""
+    d = draw(st.integers(1, 3))
+    attributes = []
+    for i in range(d):
+        kind = draw(st.sampled_from(["ordinal", "flat", "two-level", "balanced"]))
+        if kind == "ordinal":
+            attributes.append(OrdinalAttribute(f"A{i}", draw(st.integers(1, 9))))
+        elif kind == "flat":
+            attributes.append(NominalAttribute(f"A{i}", flat_hierarchy(draw(st.integers(2, 6)))))
+        elif kind == "two-level":
+            groups = draw(st.lists(st.integers(2, 3), min_size=2, max_size=3))
+            attributes.append(NominalAttribute(f"A{i}", two_level_hierarchy(groups)))
+        else:
+            attributes.append(NominalAttribute(f"A{i}", balanced_hierarchy(4, 2)))
+    schema = Schema(attributes)
+    sa = tuple(
+        attr.name for attr in schema if draw(st.booleans())
+    )
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    matrix = FrequencyMatrix(
+        schema, rng.integers(0, 30, size=schema.shape).astype(np.float64)
+    )
+    return schema, matrix, sa, seed
+
+
+class TestRepresentationParity:
+    """ISSUE satellite: same seed => bitwise-same draws, matching answers."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=schema_matrix_sa())
+    def test_dense_and_coefficient_answers_match(self, case):
+        schema, matrix, sa, seed = case
+        mechanism = PriveletPlusMechanism(sa_names=sa)
+        dense = mechanism.publish_matrix(matrix, 1.0, seed=seed)
+        coeff = mechanism.publish_matrix(matrix, 1.0, seed=seed, materialize=False)
+        assert isinstance(dense.release, DenseRelease)
+        assert isinstance(coeff.release, CoefficientRelease)
+
+        # Same Laplace draws: the coefficient tensor reconstructs to
+        # exactly the dense matrix (one inverse transform apart).
+        np.testing.assert_allclose(
+            coeff.matrix.values, dense.matrix.values, rtol=1e-9, atol=1e-9
+        )
+
+        queries = generate_workload(schema, 40, seed=seed + 1)
+        dense_answers = QueryEngine(dense).answer_all(queries)
+        coeff_answers = QueryEngine(coeff).answer_all(queries)
+        scale = np.maximum(1.0, np.abs(dense_answers))
+        np.testing.assert_array_less(
+            np.abs(coeff_answers - dense_answers) / scale, 1e-8
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(case=schema_matrix_sa())
+    def test_basic_parity(self, case):
+        schema, matrix, _, seed = case
+        dense = BasicMechanism().publish_matrix(matrix, 1.0, seed=seed)
+        coeff = BasicMechanism().publish_matrix(
+            matrix, 1.0, seed=seed, materialize=False
+        )
+        np.testing.assert_array_equal(
+            coeff.release.coefficients, dense.matrix.values
+        )
+        queries = generate_workload(schema, 25, seed=seed + 1)
+        np.testing.assert_allclose(
+            QueryEngine(coeff).answer_all(queries),
+            QueryEngine(dense).answer_all(queries),
+            rtol=1e-9,
+            atol=1e-8,
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(case=schema_matrix_sa())
+    def test_uncertainty_is_representation_independent(self, case):
+        schema, matrix, sa, seed = case
+        mechanism = PriveletPlusMechanism(sa_names=sa)
+        dense = mechanism.publish_matrix(matrix, 1.0, seed=seed)
+        coeff = mechanism.publish_matrix(matrix, 1.0, seed=seed, materialize=False)
+        queries = generate_workload(schema, 20, seed=seed + 2)
+        np.testing.assert_allclose(
+            QueryEngine(coeff).noise_variances(queries),
+            QueryEngine(dense).noise_variances(queries),
+            rtol=1e-12,
+        )
+
+
+class TestArchiveRoundTrips:
+    """ISSUE satellite: either archive format preserves every answer."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(case=schema_matrix_sa(), materialize=st.booleans())
+    def test_round_trip_answers_identical(self, tmp_path_factory, case, materialize):
+        schema, matrix, sa, seed = case
+        mechanism = PriveletPlusMechanism(sa_names=sa)
+        result = mechanism.publish_matrix(
+            matrix, 1.0, seed=seed, materialize=materialize
+        )
+        path = tmp_path_factory.mktemp("archives") / "result.npz"
+        save_result(path, result)
+        loaded = load_result(path)
+        assert loaded.representation == result.representation
+        queries = generate_workload(schema, 30, seed=seed + 3)
+        # Arrays are stored exactly, so reloaded answers are *equal*.
+        np.testing.assert_array_equal(
+            QueryEngine(loaded).answer_all(queries),
+            QueryEngine(result).answer_all(queries),
+        )
+        if not materialize:
+            assert tuple(loaded.details["sa"]) == tuple(
+                result.release.sa_names
+            )
+
+    def test_hand_built_v1_archive_still_loads(self, tmp_path, rng):
+        # A v1 archive as written before the v2 bump: "values" + header
+        # with no "format"/"representation" keys at all.
+        schema = Schema(
+            [OrdinalAttribute("X", 5), NominalAttribute("G", flat_hierarchy(4))]
+        )
+        values = rng.normal(size=schema.shape)
+        header = {
+            "schema": schema_to_dict(schema),
+            "epsilon": 1.0,
+            "noise_magnitude": 2.0,
+            "generalized_sensitivity": 1.0,
+            "variance_bound": 160.0,
+            "details": {"mechanism": "Basic"},
+        }
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            values=values,
+            header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        )
+        loaded = load_result(path)
+        assert loaded.representation == "dense"
+        np.testing.assert_array_equal(loaded.matrix.values, values)
+        queries = generate_workload(schema, 10, seed=0)
+        engine = QueryEngine(loaded)
+        assert np.isfinite(engine.answer_all(queries)).all()
+
+    def test_coefficient_archive_is_v2_and_smaller_state(self, mixed_table, tmp_path):
+        result = PriveletPlusMechanism(sa_names=("X",)).publish(
+            mixed_table, 1.0, seed=9, materialize=False
+        )
+        path = tmp_path / "v2.npz"
+        save_result(path, result)
+        with np.load(path) as archive:
+            header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+            assert header["format"] == 2
+            assert header["representation"] == "coefficients"
+            assert "values" not in archive
+            assert "coefficients" in archive
+
+    def test_v2_archive_missing_sa_rejected(self, mixed_table, tmp_path):
+        from repro.errors import ReproError
+
+        result = PriveletPlusMechanism(sa_names=()).publish(
+            mixed_table, 1.0, seed=9, materialize=False
+        )
+        path = tmp_path / "v2.npz"
+        save_result(path, result)
+        with np.load(path) as archive:
+            header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+            coefficients = archive["coefficients"]
+        del header["sa"]
+        broken = tmp_path / "broken.npz"
+        np.savez_compressed(
+            broken,
+            coefficients=coefficients,
+            header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        )
+        with pytest.raises(ReproError):
+            load_result(broken)

@@ -17,6 +17,14 @@ def published(mixed_table):
     return PriveletPlusMechanism(sa_names=("X",)).publish(mixed_table, 1.0, seed=5)
 
 
+@pytest.fixture
+def published_coefficients(mixed_table):
+    """The same publish as ``published`` without materializing ``M*``."""
+    return PriveletPlusMechanism(sa_names=("X",)).publish(
+        mixed_table, 1.0, seed=5, materialize=False
+    )
+
+
 class TestGaussianQuantile:
     @pytest.mark.parametrize("p,expected", [(0.5, 0.0), (0.975, 1.959964), (0.025, -1.959964)])
     def test_known_values(self, p, expected):
@@ -163,6 +171,65 @@ class TestBatchAnswers:
         queries = generate_workload(mixed_table.schema, 2, seed=17)
         with pytest.raises(QueryError):
             engine.answer_all_with_intervals(queries, confidence=0.0)
+
+
+class TestCoefficientBackend:
+    """The engine must behave identically on a coefficient release."""
+
+    def test_backend_inferred_from_release(self, published_coefficients):
+        engine = QueryEngine(published_coefficients)
+        assert engine.release.representation == "coefficients"
+        assert "backend=coefficients" in repr(engine)
+
+    def test_answers_match_dense_engine(
+        self, published, published_coefficients, mixed_table
+    ):
+        queries = generate_workload(mixed_table.schema, 80, seed=21)
+        dense = QueryEngine(published).answer_all(queries)
+        coeff = QueryEngine(published_coefficients).answer_all(queries)
+        np.testing.assert_allclose(coeff, dense, rtol=1e-9, atol=1e-8)
+
+    def test_intervals_match_dense_engine(
+        self, published, published_coefficients, mixed_table
+    ):
+        queries = generate_workload(mixed_table.schema, 30, seed=22)
+        dense = QueryEngine(published).answer_all_with_intervals(queries)
+        coeff = QueryEngine(published_coefficients).answer_all_with_intervals(queries)
+        np.testing.assert_allclose(coeff.estimates, dense.estimates, rtol=1e-9, atol=1e-8)
+        np.testing.assert_allclose(coeff.noise_stds, dense.noise_stds, rtol=1e-12)
+        np.testing.assert_allclose(coeff.lowers, dense.lowers, rtol=1e-9, atol=1e-8)
+
+    def test_marginals_match_dense_engine(self, published, published_coefficients):
+        dense_values, dense_stds = QueryEngine(published).marginal_with_std(["X", "G"])
+        coeff_values, coeff_stds = QueryEngine(published_coefficients).marginal_with_std(
+            ["X", "G"]
+        )
+        np.testing.assert_allclose(coeff_values, dense_values, rtol=1e-9, atol=1e-8)
+        np.testing.assert_allclose(coeff_stds, dense_stds, rtol=1e-12)
+
+    def test_single_answer_path(self, published_coefficients, mixed_table):
+        engine = QueryEngine(published_coefficients)
+        query = generate_workload(mixed_table.schema, 1, seed=23)[0]
+        assert engine.answer(query) == pytest.approx(
+            engine.answer_all([query])[0]
+        )
+
+    def test_schema_mismatch_rejected(self, published_coefficients):
+        from repro.data.attributes import OrdinalAttribute
+        from repro.data.schema import Schema
+
+        other = Schema([OrdinalAttribute("Z", 3)])
+        with pytest.raises(QueryError):
+            QueryEngine(published_coefficients).answer(RangeCountQuery(other))
+
+    def test_conflicting_sa_override_rejected(self, published_coefficients):
+        # The release knows its own SA set; a contradicting override
+        # would pair answers with the wrong uncertainty model.
+        with pytest.raises(QueryError, match="conflicts"):
+            QueryEngine(published_coefficients, sa_names=("G",))
+        # An agreeing override (any order) is accepted.
+        engine = QueryEngine(published_coefficients, sa_names=("X",))
+        assert engine.transform is published_coefficients.release.transform
 
 
 class TestMarginals:

@@ -129,6 +129,98 @@ class TestCommands:
         assert main(["query", str(output), "--confidence", "1.0"]) == 2
         assert "confidence" in capsys.readouterr().err
 
+    def test_publish_coefficients_round_trip(self, tmp_path, capsys):
+        output = tmp_path / "release.npz"
+        code = main(
+            [
+                "publish",
+                str(output),
+                "--scale",
+                "0.05",
+                "--rows",
+                "2000",
+                "--mechanism",
+                "privelet+",
+                "--representation",
+                "coefficients",
+            ]
+        )
+        assert code == 0
+        assert "representation=coefficients" in capsys.readouterr().out
+        result = load_result(output)
+        assert result.representation == "coefficients"
+        # Serving straight from the archive's coefficient backend.
+        assert main(["query", str(output), "--queries", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "coefficients backend" in out
+
+    def test_query_representation_conversion(self, tmp_path, capsys):
+        output = tmp_path / "release.npz"
+        main(
+            [
+                "publish",
+                str(output),
+                "--scale",
+                "0.05",
+                "--rows",
+                "1000",
+                "--mechanism",
+                "privelet+",
+                "--representation",
+                "coefficients",
+            ]
+        )
+        capsys.readouterr()
+        # Same archive, same seed, both serving backends: answers agree.
+        assert (
+            main(["query", str(output), "--queries", "4", "--seed", "3"]) == 0
+        )
+        coeff_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "query",
+                    str(output),
+                    "--queries",
+                    "4",
+                    "--seed",
+                    "3",
+                    "--representation",
+                    "dense",
+                ]
+            )
+            == 0
+        )
+        dense_out = capsys.readouterr().out
+        assert "dense backend" in dense_out
+
+        def estimates(text):
+            return [
+                float(line.split()[0])
+                for line in text.splitlines()
+                if "RangeCountQuery" in line
+            ]
+
+        assert estimates(coeff_out) == pytest.approx(estimates(dense_out), abs=1e-6)
+
+    def test_figure_accepts_representation(self, capsys):
+        code = main(
+            [
+                "figure",
+                "fig6",
+                "--scale",
+                "0.05",
+                "--rows",
+                "1500",
+                "--queries",
+                "300",
+                "--representation",
+                "coefficients",
+            ]
+        )
+        assert code == 0
+        assert "Basic" in capsys.readouterr().out
+
     def test_publish_basic(self, tmp_path):
         output = tmp_path / "basic.npz"
         assert (

@@ -81,3 +81,37 @@ class TestResultRoundTrip:
         np.savez(path, something=np.zeros(3))
         with pytest.raises(ReproError):
             load_result(path)
+
+    def test_coefficient_result_round_trip(self, mixed_table, tmp_path):
+        result = PriveletPlusMechanism(sa_names=("X",)).publish(
+            mixed_table, 1.0, seed=7, materialize=False
+        )
+        path = tmp_path / "coeff.npz"
+        save_result(path, result)
+        loaded = load_result(path)
+        assert loaded.representation == "coefficients"
+        assert loaded.release.sa_names == ("X",)
+        np.testing.assert_array_equal(
+            loaded.release.coefficients, result.release.coefficients
+        )
+        # Materialization after reload equals the in-memory one.
+        np.testing.assert_allclose(loaded.matrix.values, result.matrix.values)
+
+    def test_unknown_format_version_rejected(self, mixed_table, tmp_path):
+        import json
+
+        result = BasicMechanism().publish(mixed_table, 1.0, seed=1)
+        path = tmp_path / "future.npz"
+        save_result(path, result)
+        with np.load(path) as archive:
+            header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+            values = archive["values"]
+        header["format"] = 99
+        bumped = tmp_path / "bumped.npz"
+        np.savez_compressed(
+            bumped,
+            values=values,
+            header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        )
+        with pytest.raises(ReproError):
+            load_result(bumped)

@@ -1,10 +1,13 @@
-"""Tests for repro.utils (rng plumbing and validation helpers)."""
+"""Tests for repro.utils (rng plumbing, validation, and statistics)."""
 
 import numpy as np
 import pytest
 
+from repro.errors import PrivacyError, QueryError
 from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.stats import gaussian_quantile
 from repro.utils.validation import (
+    ensure_epsilon,
     ensure_in_range,
     ensure_positive,
     ensure_positive_int,
@@ -79,3 +82,53 @@ class TestValidation:
         assert next_power_of_two(64) == 64
         with pytest.raises(ValueError):
             next_power_of_two(0)
+
+    def test_ensure_epsilon(self):
+        assert ensure_epsilon(0.5) == 0.5
+        assert ensure_epsilon(2) == 2.0
+        for bad in (0, -1.0, "1", None):
+            with pytest.raises(PrivacyError):
+                ensure_epsilon(bad)
+
+    def test_ensure_epsilon_message_is_canonical(self):
+        # One validator, one error message — shared by every mechanism.
+        with pytest.raises(PrivacyError, match=r"epsilon must be a positive number"):
+            ensure_epsilon(-2)
+
+
+class TestGaussianQuantile:
+    def test_central_known_values(self):
+        # Reference values: Phi^{-1} at the interval-building probabilities.
+        assert gaussian_quantile(0.5) == pytest.approx(0.0, abs=1e-8)
+        assert gaussian_quantile(0.975) == pytest.approx(1.959963984540054, abs=1e-8)
+        assert gaussian_quantile(0.025) == pytest.approx(-1.959963984540054, abs=1e-8)
+
+    def test_other_known_quantiles(self):
+        # Phi^{-1}(0.841344746...) = 1 and the 90%/99% two-sided points.
+        assert gaussian_quantile(0.8413447460685429) == pytest.approx(1.0, abs=1e-8)
+        assert gaussian_quantile(0.95) == pytest.approx(1.6448536269514722, abs=1e-8)
+        assert gaussian_quantile(0.995) == pytest.approx(2.5758293035489004, abs=1e-8)
+
+    def test_deep_tails(self):
+        # Deep-tail reference values (scipy.stats.norm.ppf, float64).
+        assert gaussian_quantile(1e-10) == pytest.approx(-6.361340902404056, abs=1e-7)
+        assert gaussian_quantile(1e-300) == pytest.approx(-37.0470978059328, abs=1e-5)
+        assert gaussian_quantile(1 - 1e-10) == pytest.approx(6.361340902404056, abs=1e-7)
+
+    def test_deep_tails_against_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for p in (1e-12, 1e-8, 1e-4, 0.3, 0.77, 1 - 1e-9):
+            assert gaussian_quantile(p) == pytest.approx(
+                float(scipy_stats.norm.ppf(p)), rel=1e-7, abs=1e-8
+            )
+
+    def test_symmetry_and_monotonicity(self):
+        probabilities = np.linspace(0.001, 0.999, 201)
+        values = np.asarray([gaussian_quantile(p) for p in probabilities])
+        assert np.all(np.diff(values) > 0)
+        np.testing.assert_allclose(values, -values[::-1], atol=1e-9)
+
+    def test_domain_rejected(self):
+        for bad in (0.0, 1.0, -0.1, 1.1):
+            with pytest.raises(QueryError):
+                gaussian_quantile(bad)
