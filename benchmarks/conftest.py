@@ -7,6 +7,12 @@ writes it to ``results/<name>.txt`` so EXPERIMENTS.md can quote it.
 
 Scale: laptop-sized by default; set ``REPRO_FULL=1`` for the paper's
 exact dataset sizes (needs tens of GB and hours).
+
+Every table written through ``record_result`` starts with a
+``# key: value`` provenance header (commit, versions, timestamp, plus
+any benchmark-specific facts passed as ``meta``) so recorded numbers
+are reproducible — see ``benchmarks/provenance.py`` and the convention
+in ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import pathlib
 
 import pytest
 
+from benchmarks.provenance import provenance_header
 from repro.data.census import BRAZIL, US
 from repro.experiments.config import AccuracyConfig, TimingConfig, full_scale_requested
 from repro.experiments.figures import prepare_census_experiment
@@ -57,12 +64,16 @@ def us_bundle(accuracy_config):
 
 @pytest.fixture(scope="session")
 def record_result():
-    """Write a named result table under results/ and echo it to stdout."""
+    """Write a named result table under results/ and echo it to stdout.
+
+    The file gets a ``# key: value`` provenance header; pass ``meta``
+    for benchmark-specific facts (seed, domain sizes, …).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _record(name: str, text: str) -> None:
+    def _record(name: str, text: str, meta: dict | None = None) -> None:
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
+        path.write_text(provenance_header(meta) + "\n" + text + "\n")
         print()
         print(text)
 

@@ -1,0 +1,80 @@
+"""Provenance metadata for benchmark artifacts.
+
+Recorded numbers are only worth keeping if they are reproducible, so
+every artifact under ``results/`` states where it came from:
+
+* ``results/*.txt`` tables carry a leading ``# key: value`` header
+  block (written automatically by the ``record_result`` fixture);
+* ``results/BENCH_*.json`` files embed the same facts under a
+  ``"provenance"`` key.
+
+The base facts are the commit, interpreter/numpy versions, platform,
+and a UTC timestamp; benchmarks add their own parameters (seed, domain
+sizes, batch sizes) through ``**extra``.  The convention is documented
+in ``docs/ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import platform
+import subprocess
+from datetime import datetime, timezone
+
+import numpy as np
+
+__all__ = ["provenance", "provenance_header"]
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _commit() -> str:
+    """The current short commit hash, or ``unknown`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def provenance(**extra) -> dict:
+    """The provenance facts for one benchmark artifact.
+
+    Parameters
+    ----------
+    extra:
+        Benchmark-specific facts (seed, domain sizes, batch sizes, …)
+        merged after the base keys.
+
+    Returns
+    -------
+    dict
+        JSON-serializable mapping, stable key order.
+    """
+    meta = {
+        "commit": _commit(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    meta.update(extra)
+    return meta
+
+
+def provenance_header(extra: dict | None = None) -> str:
+    """The facts as a ``# key: value`` block for ``results/*.txt`` files.
+
+    Parameters
+    ----------
+    extra:
+        Benchmark-specific facts appended to the base keys.
+    """
+    meta = provenance(**(extra or {}))
+    return "\n".join(f"# {key}: {value}" for key, value in meta.items())

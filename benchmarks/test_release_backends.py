@@ -31,6 +31,7 @@ import time
 
 import numpy as np
 
+from benchmarks.provenance import provenance
 from repro.core.privelet import publish_ordinal_release
 from repro.queries.oracle import RangeSumOracle
 
@@ -114,6 +115,9 @@ def _measure(rng) -> dict:
     )
     return {
         "smoke": _smoke(),
+        "provenance": provenance(
+            seed=20100301, exponents=_exponents(), batch_size=BATCH_SIZE
+        ),
         "batch_size": BATCH_SIZE,
         "points": points,
         "dense_at_largest": {

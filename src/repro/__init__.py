@@ -58,7 +58,7 @@ from repro.core import (
     sanitize,
     select_sa,
 )
-from repro.io import load_result, save_result
+from repro.io import ResultHandle, load_result, open_result, save_result
 from repro.data import (
     BRAZIL,
     US,
@@ -86,6 +86,7 @@ from repro.errors import (
     QueryError,
     ReproError,
     SchemaError,
+    ServingError,
     TransformError,
 )
 from repro.queries import (
@@ -102,6 +103,14 @@ from repro.queries import (
     sanity_bound,
     square_error,
 )
+from repro.serving import (
+    ErrorResponse,
+    QueryRequest,
+    QueryResponse,
+    ReleaseRegistry,
+    ReleaseServer,
+    ServerStats,
+)
 from repro.transforms import HaarTransform, HNTransform, NominalTransform
 
 __version__ = "1.0.0"
@@ -115,6 +124,7 @@ __all__ = [
     "TransformError",
     "QueryError",
     "PrivacyError",
+    "ServingError",
     # data
     "OrdinalAttribute",
     "NominalAttribute",
@@ -163,6 +173,8 @@ __all__ = [
     "sanitize",
     "save_result",
     "load_result",
+    "open_result",
+    "ResultHandle",
     # queries
     "RangeCountQuery",
     "interval_predicate",
@@ -188,4 +200,11 @@ __all__ = [
     "workload_average_variance",
     "CompiledWorkload",
     "optimize_sa",
+    # serving
+    "ReleaseServer",
+    "ReleaseRegistry",
+    "ServerStats",
+    "QueryRequest",
+    "QueryResponse",
+    "ErrorResponse",
 ]

@@ -67,10 +67,23 @@ def axis_variance_profile(transform: OneDimensionalTransform, lo: int, hi: int) 
     """``sum_j g[j]^2 / W[j]^2`` for one axis and one half-open range.
 
     ``g = R^T r`` where ``R`` is the reconstruction map and ``r`` the
-    range indicator.  This is the axis's multiplicative contribution to
-    the exact query variance (times ``2 lambda^2`` overall).  Computed
-    matrix-free through the transform's own adjoint — ``O(log m)`` for a
-    Haar axis — never via a dense identity reconstruction.
+    indicator of ``[lo, hi)``.  This is the axis's multiplicative
+    contribution to the exact query variance (times ``2 lambda^2``
+    overall).  Computed matrix-free through the transform's own adjoint
+    — ``O(log m)`` for a Haar axis — never via a dense identity
+    reconstruction.
+
+    Parameters
+    ----------
+    transform:
+        The axis's one-dimensional transform.
+    lo, hi:
+        Half-open range bounds on that axis.
+
+    Returns
+    -------
+    float
+        The axis profile (dimensionless).
     """
     if not (0 <= lo <= hi <= transform.input_length):
         raise QueryError(
@@ -81,13 +94,18 @@ def axis_variance_profile(transform: OneDimensionalTransform, lo: int, hi: int) 
 
 
 def query_noise_variance(hn: HNTransform, query, noise_magnitude: float) -> float:
-    """Exact noise variance of ``query``'s answer under this transform.
+    """Exact noise variance of ``query``'s answer under transform ``hn``.
 
     ``query`` is a :class:`repro.queries.query.RangeCountQuery` (imported
     lazily to keep this module free of the queries package — the engine
     there imports us).  ``noise_magnitude`` is the Privelet parameter
     lambda; each coefficient carries independent Laplace(lambda / W(c))
-    noise.
+    noise.  Cost is ``O(sum_i log m_i)`` via the per-axis adjoints.
+
+    Returns
+    -------
+    float
+        ``2 lambda^2 * prod_i profile_i`` — exact, not a bound.
     """
     noise_magnitude = ensure_positive(noise_magnitude, "noise_magnitude")
     if query.schema.shape != hn.input_shape:
@@ -101,9 +119,14 @@ def query_noise_variance(hn: HNTransform, query, noise_magnitude: float) -> floa
 def query_boxes(queries, shape) -> tuple[np.ndarray, np.ndarray]:
     """Extract every query's box into ``(n, d)`` low/high arrays.
 
-    Validates each query's schema shape against ``shape``.  This is the
-    shared first step of every batch path (compiled workloads, the
-    engine's variance batches).
+    Validates each of ``queries``' schema shape against ``shape``.  This
+    is the shared first step of every batch path (compiled workloads,
+    the engine's variance batches).
+
+    Returns
+    -------
+    tuple[numpy.ndarray, numpy.ndarray]
+        ``(lows, highs)`` int64 arrays, one row per query.
     """
     queries = list(queries)
     dimensions = len(shape)
@@ -125,7 +148,17 @@ class AxisProfileCache:
     ``HNTransform.transforms``); repeated queries over the same ranges —
     the common case in OLAP traffic — hit the dictionary, and the ranges
     a batch *does* miss are computed in a single vectorized
-    ``range_profiles`` call per axis.
+    ``range_profiles`` call per axis.  Lookups and inserts go through the
+    :meth:`_get`/:meth:`_put` hooks so bounded policies (the serving
+    layer's LRU cache) can subclass without re-implementing the batch
+    fill; :attr:`hits`/:attr:`misses` count distinct-range lookups either
+    way.
+
+    Parameters
+    ----------
+    transforms:
+        Per-axis :class:`~repro.transforms.base.OneDimensionalTransform`
+        sequence the profiles are computed against (axis order = index).
     """
 
     def __init__(self, transforms):
@@ -133,20 +166,66 @@ class AxisProfileCache:
         self._caches: list[dict[tuple[int, int], float]] = [
             dict() for _ in self._transforms
         ]
+        #: Distinct-range lookups served from the cache.
+        self.hits = 0
+        #: Distinct-range lookups that had to call the transform.
+        self.misses = 0
+
+    # -- storage hooks (subclass points for bounded policies) ----------
+    def _get(self, axis: int, key: tuple[int, int]) -> float | None:
+        """Return the cached profile for ``(axis, key)`` or ``None``."""
+        return self._caches[axis].get(key)
+
+    def _put(self, axis: int, key: tuple[int, int], value: float) -> None:
+        """Store one computed profile under ``(axis, key)``."""
+        self._caches[axis][key] = value
+
+    def __len__(self) -> int:
+        return sum(len(cache) for cache in self._caches)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of distinct-range lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def profile(self, axis: int, lo: int, hi: int) -> float:
-        """One axis profile, memoized."""
+        """One axis profile for ``[lo, hi)``, memoized (``O(log m)`` on miss).
+
+        Parameters
+        ----------
+        axis:
+            Index into the bound transform sequence.
+        lo, hi:
+            Half-open range on that axis.
+
+        Returns
+        -------
+        float
+            ``sum_j (g[j] / W[j])^2`` for the range's adjoint ``g``.
+        """
         key = (int(lo), int(hi))
-        cache = self._caches[axis]
-        value = cache.get(key)
+        value = self._get(axis, key)
         if value is None:
+            self.misses += 1
             value = axis_variance_profile(self._transforms[axis], *key)
-            cache[key] = value
+            self._put(axis, key, value)
+        else:
+            self.hits += 1
         return value
 
     def profiles(self, axis: int, lows, highs) -> np.ndarray:
-        """Vectorized profiles for one axis; missing ranges are computed
-        in one batched transform call and remembered."""
+        """Vectorized profiles for one axis's ``lows``/``highs`` arrays.
+
+        Missing ranges are computed in one batched transform call and
+        remembered; duplicates within the batch are deduplicated first,
+        so each distinct range costs (and counts) one lookup.
+
+        Returns
+        -------
+        numpy.ndarray
+            Per-range profiles aligned with ``lows``/``highs``.
+        """
         lows = np.asarray(lows, dtype=np.int64)
         highs = np.asarray(highs, dtype=np.int64)
         transform = self._transforms[axis]
@@ -157,22 +236,42 @@ class AxisProfileCache:
                 f"a range is out of bounds for axis {axis} of length "
                 f"{transform.input_length}"
             )
-        cache = self._caches[axis]
         pairs = np.stack([lows, highs], axis=1)
         unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
         keys = [(int(lo), int(hi)) for lo, hi in unique]
-        missing = [i for i, key in enumerate(keys) if key not in cache]
+        values = np.empty(len(keys), dtype=np.float64)
+        missing = []
+        for i, key in enumerate(keys):
+            cached = self._get(axis, key)
+            if cached is None:
+                missing.append(i)
+            else:
+                values[i] = cached
+        self.hits += len(keys) - len(missing)
+        self.misses += len(missing)
         if missing:
             computed = transform.range_profiles(
                 unique[missing, 0], unique[missing, 1]
             )
             for i, value in zip(missing, computed):
-                cache[keys[i]] = float(value)
-        values = np.asarray([cache[key] for key in keys], dtype=np.float64)
+                values[i] = float(value)
+                self._put(axis, keys[i], values[i])
         return values[inverse]
 
     def box_profile_products(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
-        """Per-query products of axis profiles for ``(n, d)`` box arrays."""
+        """Per-query products of axis profiles for ``(n, d)`` box arrays.
+
+        Parameters
+        ----------
+        lows, highs:
+            ``(n, d)`` half-open box bounds, one row per query.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n,)`` products over axes — the exact variance of query
+            ``q`` is ``2 lambda^2 * products[q]``.
+        """
         products = np.ones(lows.shape[0], dtype=np.float64)
         for axis in range(len(self._transforms)):
             products *= self.profiles(axis, lows[:, axis], highs[:, axis])
@@ -189,6 +288,13 @@ class CompiledWorkload:
     SA choice: profiles are cached per ``(axis, wavelet-or-identity)``,
     so all ``2^d`` Privelet+ candidates over the same schema reuse the
     same compiled ranges (each axis is profiled at most twice in total).
+
+    Parameters
+    ----------
+    schema:
+        The schema all ``queries`` are bound to.
+    queries:
+        Non-empty iterable of range-count queries.
     """
 
     def __init__(self, schema: Schema, queries):
@@ -230,7 +336,13 @@ class CompiledWorkload:
         return unique_profiles[inverse]
 
     def profile_products(self, hn: HNTransform) -> np.ndarray:
-        """Per-query products of axis profiles under one HN transform."""
+        """Per-query products of axis profiles under the transform ``hn``.
+
+        Returns
+        -------
+        numpy.ndarray
+            One product per compiled query.
+        """
         # Schema *equality*, not just shape: the profile cache assumes
         # each axis's wavelet transform is determined by this workload's
         # schema, so a same-shape schema with e.g. a different hierarchy
@@ -245,12 +357,25 @@ class CompiledWorkload:
         return products
 
     def variances(self, hn: HNTransform, noise_magnitude: float) -> np.ndarray:
-        """Exact per-query noise variances, vectorized."""
+        """Exact per-query noise variances under ``hn``, vectorized.
+
+        Parameters
+        ----------
+        hn:
+            The HN transform (an SA choice over the compiled schema).
+        noise_magnitude:
+            The Privelet lambda the mechanism uses.
+
+        Returns
+        -------
+        numpy.ndarray
+            One exact variance per compiled query.
+        """
         noise_magnitude = ensure_positive(noise_magnitude, "noise_magnitude")
         return 2.0 * noise_magnitude**2 * self.profile_products(hn)
 
     def average_variance(self, hn: HNTransform, noise_magnitude: float) -> float:
-        """Mean exact noise variance over the workload."""
+        """Mean of :meth:`variances` under ``hn`` and ``noise_magnitude``."""
         return float(self.variances(hn, noise_magnitude).mean())
 
     def expected_relative_errors(
@@ -263,7 +388,23 @@ class CompiledWorkload:
         """Gaussian-approximation ``E[relerr]`` per query (§IX analysis).
 
         ``E|noise| = sigma * sqrt(2/pi)`` under the CLT, divided by the
-        §VII-A sanity-bounded exact answer.
+        §VII-A ``sanity``-bounded exact answer.
+
+        Parameters
+        ----------
+        hn:
+            The HN transform (an SA choice over the compiled schema).
+        noise_magnitude:
+            The Privelet lambda the mechanism uses.
+        exact_answers:
+            True answers aligned with the compiled queries.
+        sanity:
+            The §VII-A sanity bound ``s`` (denominator floor).
+
+        Returns
+        -------
+        numpy.ndarray
+            Predicted expected relative error per query.
         """
         sanity = ensure_positive(sanity, "sanity")
         stds = np.sqrt(self.variances(hn, noise_magnitude))
@@ -285,6 +426,24 @@ def workload_average_variance(
     Pass ``compiled`` to reuse a :class:`CompiledWorkload` across SA
     choices (as :func:`optimize_sa` does); it must have been built from
     the same queries over the same schema.
+
+    Parameters
+    ----------
+    schema:
+        The released schema.
+    sa_names:
+        The Privelet+ SA candidate to evaluate.
+    queries:
+        The workload sample (ignored when ``compiled`` is given).
+    epsilon:
+        Privacy budget the lambda is derived from.
+    compiled:
+        Optional pre-compiled workload to reuse.
+
+    Returns
+    -------
+    float
+        Mean exact variance over the workload.
     """
     epsilon = ensure_positive(epsilon, "epsilon")
     hn = HNTransform(schema, sa_names)
@@ -313,9 +472,22 @@ def expected_relative_errors(
 
     Parameters
     ----------
+    schema:
+        The released schema.
+    sa_names:
+        The Privelet+ SA set the mechanism would use.
     workload:
         A :class:`repro.queries.workload.Workload` (bound queries with
         exact answers).
+    epsilon:
+        Privacy budget the lambda is derived from.
+    sanity:
+        The §VII-A sanity bound (denominator floor).
+
+    Returns
+    -------
+    numpy.ndarray
+        Predicted expected relative error per query.
     """
     epsilon = ensure_positive(epsilon, "epsilon")
     sanity = ensure_positive(sanity, "sanity")
@@ -348,6 +520,20 @@ def optimize_sa(schema: Schema, queries, epsilon: float = 1.0) -> SaChoice:
     the worst case.  The workload is compiled once; every candidate
     reuses the same deduplicated per-axis profiles, so the sweep costs
     two profile passes per axis instead of ``2^d`` rebuilds.
+
+    Parameters
+    ----------
+    schema:
+        The schema to publish under.
+    queries:
+        A workload sample representative of expected traffic.
+    epsilon:
+        Privacy budget the per-candidate lambdas are derived from.
+
+    Returns
+    -------
+    SaChoice
+        Best SA set, its average variance, and the full ranking.
     """
     compiled = CompiledWorkload(schema, list(queries))
     candidates = []

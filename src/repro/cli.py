@@ -16,12 +16,22 @@ Commands
     Answer random range-count queries on a published archive through the
     batch query engine, printing each estimate with its exact noise std
     and confidence interval.
+``serve``
+    Stand up a :class:`~repro.serving.server.ReleaseServer` over one or
+    more archives and drive it through a port-less JSONL loop: one JSON
+    request per stdin line, one JSON response per stdout line (answers
+    and errors both — a malformed request gets a structured error
+    response, never a traceback).  Archives load lazily on first touch.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import os
 import sys
+from collections import deque
 
 from repro.core.accountant import PrivacyAccount
 from repro.core.basic import BasicMechanism
@@ -41,6 +51,8 @@ from repro.experiments.reporting import format_accuracy_run, format_timing_run
 from repro.io import load_result, save_result
 from repro.queries.engine import QueryEngine
 from repro.queries.workload import generate_workload
+from repro.serving.requests import ErrorResponse, QueryRequest
+from repro.serving.server import ReleaseServer
 
 __all__ = ["main", "build_parser"]
 
@@ -112,6 +124,57 @@ def build_parser() -> argparse.ArgumentParser:
         default="archive",
         help="serving backend: 'archive' keeps the stored representation, "
         "the others convert before answering",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve many release archives through a JSONL request loop",
+    )
+    serve.add_argument(
+        "archives",
+        nargs="+",
+        help=".npz archives to register; the release name is the file "
+        "stem, or use NAME=PATH to override",
+    )
+    serve.add_argument(
+        "--stdin-jsonl",
+        action="store_true",
+        help="read JSONL requests from stdin and write JSONL responses "
+        "to stdout (the default and only transport)",
+    )
+    serve.add_argument(
+        "--port-less",
+        action="store_true",
+        help="serve without opening a socket (always true; stdio is the "
+        "transport, put a network front in front of it if you need one)",
+    )
+    serve.add_argument("--max-batch", type=int, default=256)
+    serve.add_argument(
+        "--linger-ms",
+        type=float,
+        default=2.0,
+        help="upper bound of the adaptive micro-batching window",
+    )
+    serve.add_argument(
+        "--profile-cache",
+        type=int,
+        default=4096,
+        help="per-axis LRU bound of each release's adjoint-profile cache",
+    )
+    serve.add_argument(
+        "--representation",
+        choices=["archive", "dense", "coefficients"],
+        default="archive",
+        help="serving backend: 'archive' keeps each archive's stored "
+        "representation, the others convert on first touch",
+    )
+    serve.add_argument(
+        "--sa",
+        nargs="*",
+        default=None,
+        help="override the SA set for archives lacking mechanism details "
+        "(conflicts with a v2 archive's own SA set are reported as "
+        "structured bad-request responses)",
     )
 
     return parser
@@ -213,6 +276,134 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _emit(stream, payload: dict) -> None:
+    """Write one JSONL response line and flush (client may be pipelined)."""
+    stream.write(json.dumps(payload) + "\n")
+    stream.flush()
+
+
+def _flush_pending(pending, stream, *, only_done: bool = False) -> None:
+    """Emit responses in submission order (the wire never reorders).
+
+    ``only_done=True`` emits just the already-completed prefix (used
+    between submits so the loop keeps pipelining); the default drains
+    everything, blocking on still-batching futures.
+    """
+    while pending and not (only_done and not pending[0][1].done()):
+        request_id, future = pending.popleft()
+        try:
+            _emit(stream, future.result().to_dict())
+        except Exception as exc:  # noqa: BLE001 - wire gets structured errors
+            _emit(stream, ErrorResponse.from_exception(exc, request_id).to_dict())
+
+
+def _serve_loop(server: ReleaseServer, lines, stream) -> int:
+    """Drive the JSONL request/response loop until stdin closes.
+
+    Every line produces exactly one response line, in request order.
+    Query responses may lag behind their requests by up to the batching
+    window; ``stats``/``list`` operations flush the pending queue first
+    so their answers observe every earlier request.
+    """
+    pending: deque = deque()
+    served = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            _flush_pending(pending, stream)
+            _emit(
+                stream,
+                ErrorResponse("bad-request", f"malformed JSON request: {exc}").to_dict(),
+            )
+            continue
+        request_id = payload.get("id") if isinstance(payload, dict) else None
+        op = payload.get("op", "query") if isinstance(payload, dict) else "query"
+        if op == "stats":
+            _flush_pending(pending, stream)
+            _emit(
+                stream,
+                {"ok": True, "id": request_id, "stats": dataclasses.asdict(server.stats())},
+            )
+            continue
+        if op == "list":
+            _flush_pending(pending, stream)
+            _emit(
+                stream,
+                {
+                    "ok": True,
+                    "id": request_id,
+                    "releases": [server.describe(name) for name in server.names],
+                },
+            )
+            continue
+        if op != "query":
+            _flush_pending(pending, stream)
+            _emit(
+                stream,
+                ErrorResponse("bad-request", f"unknown op {op!r}", request_id).to_dict(),
+            )
+            continue
+        try:
+            request = QueryRequest.from_dict(payload)
+            pending.append((request.request_id, server.submit(request)))
+            served += 1
+        except Exception as exc:  # noqa: BLE001 - wire gets structured errors
+            _flush_pending(pending, stream)
+            _emit(stream, ErrorResponse.from_exception(exc, request_id).to_dict())
+            continue
+        _flush_pending(pending, stream, only_done=True)
+    _flush_pending(pending, stream)
+    return served
+
+
+def _parse_archive_spec(spec: str) -> tuple[str | None, str]:
+    """Split a ``serve`` archive argument into ``(name, path)``.
+
+    ``NAME=PATH`` overrides the default stem-derived name, but a spec
+    that exists on disk as given, or whose prefix contains a path
+    separator, is always a bare path — so archives whose *filenames*
+    contain ``=`` (``eps=1.0.npz``) stay servable.
+    """
+    name, sep, path = spec.partition("=")
+    if sep and name and os.sep not in name and not os.path.exists(spec):
+        return name, path
+    return None, spec
+
+
+def _cmd_serve(args) -> int:
+    server = ReleaseServer(
+        max_batch=args.max_batch,
+        max_linger_seconds=args.linger_ms / 1000.0,
+        profile_cache_entries=args.profile_cache,
+        representation=None if args.representation == "archive" else args.representation,
+        sa_names=tuple(args.sa) if args.sa is not None else None,
+    )
+    with server:
+        for spec in args.archives:
+            name, path = _parse_archive_spec(spec)
+            server.register_archive(path, name=name)
+        print(
+            f"serving {len(server.names)} release(s) {list(server.names)} "
+            "over stdin JSONL (one request per line; op=stats / op=list "
+            "for introspection)",
+            file=sys.stderr,
+        )
+        served = _serve_loop(server, sys.stdin, sys.stdout)
+        stats = server.stats()
+    print(
+        f"served {served} request(s); mean batch "
+        f"{stats.mean_batch_size:.1f}, profile-cache hit rate "
+        f"{stats.profile_cache_hit_rate:.0%}, p99 latency "
+        f"{stats.p99_latency_seconds * 1e3:.2f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -221,6 +412,7 @@ def main(argv=None) -> int:
         "figure": _cmd_figure,
         "publish": _cmd_publish,
         "query": _cmd_query,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

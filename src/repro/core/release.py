@@ -77,18 +77,47 @@ class Release:
         raise NotImplementedError
 
     def answer_boxes(self, lows, highs) -> np.ndarray:
-        """Answers for ``(n, d)`` arrays of half-open box bounds."""
+        """Batch box answers.
+
+        Parameters
+        ----------
+        lows, highs:
+            ``(n, d)`` arrays of half-open box bounds, one row per query.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n,)`` private counts aligned with the rows.
+        """
         raise NotImplementedError
 
     def answer_box(self, box) -> float:
-        """Answer one box given as ``((lo, hi), ...)`` per dimension."""
+        """Answer one ``box`` given as ``((lo, hi), ...)`` per dimension.
+
+        Returns
+        -------
+        float
+            The private count (a batch of one through
+            :meth:`answer_boxes`).
+        """
         box = tuple(box)
         lows = np.asarray([[lo for lo, _ in box]], dtype=np.int64)
         highs = np.asarray([[hi for _, hi in box]], dtype=np.int64)
         return float(self.answer_boxes(lows, highs)[0])
 
     def marginal(self, attribute_names) -> np.ndarray:
-        """Marginal table over the named attributes (requested order)."""
+        """Marginal table over the attributes in ``attribute_names``.
+
+        Parameters
+        ----------
+        attribute_names:
+            Attributes to keep, in the desired output-axis order.
+
+        Returns
+        -------
+        numpy.ndarray
+            One axis per requested attribute (order of the request).
+        """
         raise NotImplementedError
 
     def to_matrix(self) -> FrequencyMatrix:
@@ -104,7 +133,13 @@ class Release:
 
 
 class DenseRelease(Release):
-    """Today's representation: ``M*`` plus a lazily built prefix oracle."""
+    """Today's representation: ``M*`` plus a lazily built prefix oracle.
+
+    Parameters
+    ----------
+    matrix:
+        The materialized noisy frequency matrix to serve from.
+    """
 
     representation = "dense"
 
@@ -257,8 +292,19 @@ class CoefficientRelease(Release):
         """Batch box answers by cross-product coefficient gathers.
 
         Per query the work is ``prod_i k_i`` gathered entries (``k_i``
-        the axis-``i`` support width); the batch is chunked so scratch
-        index arrays stay a few MB regardless of batch size.
+        the axis-``i`` support width, ``O(log m_i)`` for Haar axes);
+        the batch is chunked so scratch index arrays stay a few MB
+        regardless of batch size.
+
+        Parameters
+        ----------
+        lows, highs:
+            ``(n, d)`` arrays of half-open box bounds, one row per query.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n,)`` private counts aligned with the rows.
         """
         lows, highs = self._check_boxes(lows, highs)
         count = lows.shape[0]
@@ -308,8 +354,18 @@ class CoefficientRelease(Release):
 
         Each marginal cell is a box query — a point on the kept axes and
         the full range elsewhere — so the whole table is one
-        :meth:`answer_boxes` batch reshaped to the kept axes in the
-        requested order.
+        :meth:`answer_boxes` batch reshaped to the kept axes in
+        ``attribute_names`` order.
+
+        Parameters
+        ----------
+        attribute_names:
+            Attributes to keep, in the desired output-axis order.
+
+        Returns
+        -------
+        numpy.ndarray
+            One axis per requested attribute (order of the request).
         """
         schema = self.schema
         names = list(attribute_names)

@@ -36,3 +36,21 @@ class QueryError(ReproError):
 
 class PrivacyError(ReproError):
     """A privacy parameter (epsilon, lambda, sensitivity) is invalid."""
+
+
+class ServingError(ReproError):
+    """A serving-layer request cannot be satisfied.
+
+    Raised by :mod:`repro.serving` for registry problems (unknown or
+    duplicate release names), malformed :class:`~repro.serving.requests.
+    QueryRequest` payloads, and use-after-close of a
+    :class:`~repro.serving.server.ReleaseServer`.  Wire-facing loops (the
+    ``serve`` CLI) translate it into a structured error response instead
+    of a traceback; :attr:`code` is the machine-readable response code.
+    """
+
+    def __init__(self, message: str, *, code: str = "bad-request"):
+        super().__init__(message)
+        #: Machine-readable error code carried into wire responses
+        #: (e.g. ``unknown-release``, ``bad-request``, ``closed``).
+        self.code = code

@@ -25,11 +25,19 @@ Hierarchies are serialized by their parent arrays + labels, which is
 enough to rebuild an identical :class:`~repro.data.hierarchy.Hierarchy`
 (level-order ids and DFS leaf order are deterministic functions of the
 tree shape).
+
+For serving fleets, :func:`open_result` returns a :class:`ResultHandle`
+that reads only the JSON header up front (schema, representation,
+accounting) and maps the array payload on first :meth:`ResultHandle.
+load` — a server registered over dozens of archives pays for each
+payload only when its first request arrives.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import zipfile
 
 import numpy as np
 
@@ -41,7 +49,14 @@ from repro.data.hierarchy import Hierarchy, Node
 from repro.data.schema import Schema
 from repro.errors import ReproError
 
-__all__ = ["save_result", "load_result", "schema_to_dict", "schema_from_dict"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "open_result",
+    "ResultHandle",
+    "schema_to_dict",
+    "schema_from_dict",
+]
 
 _FORMAT_VERSION = 1
 #: Archive format for coefficient-space releases.
@@ -137,13 +152,18 @@ def save_result(path, result: PublishResult) -> None:
     )
 
 
+def _decode_header(archive) -> dict:
+    """Parse the JSON header array of an open ``.npz`` archive."""
+    try:
+        return json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+    except KeyError as exc:
+        raise ReproError(f"not a repro result archive: missing {exc}") from exc
+
+
 def load_result(path) -> PublishResult:
     """Reload a result written by :func:`save_result` (either format)."""
     with np.load(path) as archive:
-        try:
-            header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
-        except KeyError as exc:
-            raise ReproError(f"not a repro result archive: missing {exc}") from exc
+        header = _decode_header(archive)
         format_version = header.get("format", _FORMAT_VERSION)
         try:
             if format_version == _FORMAT_VERSION:
@@ -173,6 +193,110 @@ def load_result(path) -> PublishResult:
         variance_bound=float(header["variance_bound"]),
         details=header.get("details", {}),
     )
+
+
+class ResultHandle:
+    """A lazy handle on a result archive: header now, payload on touch.
+
+    ``.npz`` archives are zip files, so the JSON header can be read and
+    decompressed without touching the (much larger) matrix or
+    coefficient payload.  A server registered over dozens of archives
+    therefore learns every release's schema, representation, and privacy
+    accounting at registration time, and maps each payload only when the
+    first request for that release arrives (:meth:`load` is cached and
+    thread-safe).
+
+    Parameters
+    ----------
+    path:
+        An archive written by :func:`save_result` (either format).
+    """
+
+    def __init__(self, path):
+        self._path = str(path)
+        self._header: dict | None = None
+        self._result: PublishResult | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def path(self) -> str:
+        """The archive path this handle reads from."""
+        return self._path
+
+    @property
+    def loaded(self) -> bool:
+        """True once :meth:`load` has materialized the full result."""
+        return self._result is not None
+
+    @property
+    def header(self) -> dict:
+        """The archive's JSON header (read without the array payload)."""
+        if self._header is None:
+            with self._lock:
+                if self._header is None:
+                    with np.load(self._path) as archive:
+                        self._header = _decode_header(archive)
+        return self._header
+
+    @property
+    def representation(self) -> str:
+        """The stored release representation (``dense``/``coefficients``)."""
+        return self.header.get("representation", "dense")
+
+    @property
+    def epsilon(self) -> float:
+        """The archive's ε without loading the payload."""
+        return float(self.header["epsilon"])
+
+    def schema(self) -> Schema:
+        """The released schema, rebuilt from the header alone."""
+        return schema_from_dict(self.header["schema"])
+
+    def load(self) -> PublishResult:
+        """The full :class:`PublishResult`, loaded once and cached.
+
+        Returns
+        -------
+        PublishResult
+            Identical to :func:`load_result` on the same path; repeated
+            calls return the same object.
+        """
+        if self._result is None:
+            with self._lock:
+                if self._result is None:
+                    self._result = load_result(self._path)
+        return self._result
+
+    def __repr__(self) -> str:
+        state = "loaded" if self.loaded else "lazy"
+        return f"ResultHandle({self._path!r}, {state})"
+
+
+def open_result(path) -> ResultHandle:
+    """Open an archive lazily — header metadata now, payload on demand.
+
+    Parameters
+    ----------
+    path:
+        An archive written by :func:`save_result`.
+
+    Returns
+    -------
+    ResultHandle
+        Raises :class:`~repro.errors.ReproError` immediately if the file
+        is missing or is not a result archive (the header is validated
+        eagerly so registration fails fast).
+    """
+    handle = ResultHandle(path)
+    try:
+        handle.header
+    except FileNotFoundError as exc:
+        raise ReproError(f"no such archive: {path}") from exc
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        # BadZipFile subclasses Exception directly, so it must be named:
+        # a truncated download starts with zip magic yet fails to parse.
+        raise ReproError(f"not a repro result archive: {path} ({exc})") from exc
+    return handle
 
 
 def _jsonable(value):

@@ -111,9 +111,16 @@ class QueryEngine:
     sa_names:
         Override for the SA set used to rebuild the transform.  Usually
         inferred from ``result.details`` (Basic implies all attributes).
+    profile_cache_factory:
+        Optional callable mapping the engine's per-axis transform
+        sequence to the :class:`~repro.analysis.exact.AxisProfileCache`
+        it memoizes profiles in.  The serving layer passes a bounded LRU
+        subclass here; the default is the unbounded cache.
     """
 
-    def __init__(self, result: PublishResult, *, sa_names=None):
+    def __init__(
+        self, result: PublishResult, *, sa_names=None, profile_cache_factory=None
+    ):
         self._result = result
         self._release = result.release
         schema = self._release.schema
@@ -136,7 +143,9 @@ class QueryEngine:
             self._transform = HNTransform(schema, sa_names)
         # Per-axis range -> profile memo, shared by every uncertainty
         # call on this engine (batch misses fill it vectorized).
-        self._profiles = AxisProfileCache(self._transform.transforms)
+        if profile_cache_factory is None:
+            profile_cache_factory = AxisProfileCache
+        self._profiles = profile_cache_factory(self._transform.transforms)
 
     # ------------------------------------------------------------------
     @property
@@ -153,14 +162,49 @@ class QueryEngine:
         """The HN transform reconstructed from the result's configuration."""
         return self._transform
 
+    @property
+    def profile_cache(self):
+        """The per-axis profile cache this engine memoizes variances in.
+
+        Exposed so serving-layer stats can read its hit/miss counters;
+        treat it as read-only.
+        """
+        return self._profiles
+
     def answer(self, query: RangeCountQuery) -> float:
-        """Point answer from the published release."""
+        """Point answer for one ``query`` from the published release.
+
+        ``O(m)``-free on a coefficient backend: the answer gathers
+        ``O(prod_i log m_i)`` coefficients (dense backends pay two
+        prefix-oracle lookups per axis instead).
+
+        Parameters
+        ----------
+        query:
+            A range-count query over the release's schema shape.
+
+        Returns
+        -------
+        float
+            The private (noisy) count.
+        """
         if query.schema.shape != self._release.schema.shape:
             raise QueryError("query schema does not match the release's shape")
         return self._release.answer_box(query.box())
 
     def noise_variance(self, query: RangeCountQuery) -> float:
-        """Exact noise variance of this query's answer (data-free)."""
+        """Exact noise variance of one ``query``'s answer (data-free).
+
+        Parameters
+        ----------
+        query:
+            A range-count query over the release's schema shape.
+
+        Returns
+        -------
+        float
+            ``2 lambda^2 * prod_i profile_i`` — exact, not a bound.
+        """
         return float(self.noise_variances([query])[0])
 
     def noise_variances(self, queries) -> np.ndarray:
@@ -168,7 +212,18 @@ class QueryEngine:
 
         One compiled pass: each axis's distinct ranges are profiled in a
         single transform call (through the engine's persistent cache),
-        then multiplied across axes per query.
+        then multiplied across axes per query — ``O(log m_i)`` per
+        distinct uncached range on a Haar axis, ``O(1)`` afterwards.
+
+        Parameters
+        ----------
+        queries:
+            Iterable of range-count queries over the release's schema.
+
+        Returns
+        -------
+        numpy.ndarray
+            Per-query exact variances, aligned with ``queries``.
         """
         lows, highs = query_boxes(queries, self._transform.input_shape)
         products = self._profiles.box_profile_products(lows, highs)
@@ -177,10 +232,15 @@ class QueryEngine:
     def answer_with_interval(
         self, query: RangeCountQuery, confidence: float = 0.95
     ) -> QueryAnswer:
-        """Point answer plus a two-sided confidence interval.
+        """Point answer plus a two-sided confidence interval for ``query``.
 
         A batch of one — see :meth:`answer_all_with_intervals` for the
-        interval construction.
+        interval construction and the ``confidence`` semantics.
+
+        Returns
+        -------
+        QueryAnswer
+            Estimate, exact noise std, and interval bounds.
         """
         return self.answer_all_with_intervals([query], confidence)[0]
 
@@ -194,6 +254,20 @@ class QueryEngine:
         approximation to the sum of independent Laplace noises, widened
         to the exact Laplace quantile when it is larger (so intervals
         stay valid even for answers dominated by a single coefficient).
+        Per query this is ``O(prod_i log m_i)`` gather work plus
+        ``O(log m_i)`` per distinct uncached range for the variances.
+
+        Parameters
+        ----------
+        queries:
+            Iterable of range-count queries over the release's schema.
+        confidence:
+            Two-sided coverage level in ``(0, 1)``.
+
+        Returns
+        -------
+        BatchQueryAnswers
+            Arrays aligned with ``queries``.
         """
         if not 0.0 < confidence < 1.0:
             raise QueryError(f"confidence must be in (0, 1), got {confidence}")
@@ -216,19 +290,40 @@ class QueryEngine:
         )
 
     def answer_all(self, queries) -> np.ndarray:
-        """Bulk point answers (one vectorized backend gather)."""
+        """Bulk point answers (one vectorized backend gather).
+
+        Parameters
+        ----------
+        queries:
+            Iterable of range-count queries over the release's schema.
+
+        Returns
+        -------
+        numpy.ndarray
+            Per-query private counts, aligned with ``queries``.
+        """
         lows, highs = query_boxes(queries, self._transform.input_shape)
         return self._release.answer_boxes(lows, highs)
 
     def marginal_with_std(self, attribute_names) -> tuple[np.ndarray, np.ndarray]:
         """A DP marginal table plus the exact noise std of every cell.
 
-        Returns ``(values, stds)`` with one axis per requested attribute
-        (schema order of the request).  Each marginal cell is a
-        range-count query (a point on the kept axes, the full range on
-        the summed-out axes), so its exact noise variance factorizes per
-        axis — the whole std table costs one vectorized profile pass per
-        kept axis (memoized across calls like every engine profile).
+        Each marginal cell is a range-count query (a point on the kept
+        axes, the full range on the summed-out axes), so its exact noise
+        variance factorizes per axis — the whole std table costs one
+        vectorized profile pass per kept axis (memoized across calls
+        like every engine profile).
+
+        Parameters
+        ----------
+        attribute_names:
+            Attributes to keep, in the desired output-axis order.
+
+        Returns
+        -------
+        tuple[numpy.ndarray, numpy.ndarray]
+            ``(values, stds)`` with one axis per requested attribute
+            (order of the request).
         """
         schema = self.schema
         names = list(attribute_names)

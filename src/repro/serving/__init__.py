@@ -1,0 +1,44 @@
+"""The serving layer: many releases, heavy traffic, one front door.
+
+Everything below this package answers *one* query batch well; this
+package is about sustained traffic across *many* releases.  The pieces
+(each documented in its own module):
+
+* :class:`~repro.serving.registry.ReleaseRegistry` — named releases,
+  archive-backed entries load lazily;
+* :class:`~repro.serving.requests.QueryRequest` /
+  :class:`~repro.serving.requests.QueryResponse` /
+  :class:`~repro.serving.requests.ErrorResponse` — the wire types of
+  the JSONL protocol ``python -m repro serve`` speaks;
+* :class:`~repro.serving.batching.MicroBatcher` — adaptive coalescing
+  of concurrent single queries into vectorized engine batches;
+* :class:`~repro.serving.cache.LRUProfileCache` — bounded per-axis
+  adjoint-profile memo keyed by axis ranges;
+* :class:`~repro.serving.server.ReleaseServer` — the composition, with
+  per-release locks and hit-rate/batch/latency stats.
+
+See ``docs/ARCHITECTURE.md`` for where this layer sits in the system.
+"""
+
+from repro.serving.batching import MicroBatcher
+from repro.serving.cache import LRUProfileCache
+from repro.serving.registry import ReleaseRegistry
+from repro.serving.requests import (
+    ErrorResponse,
+    QueryRequest,
+    QueryResponse,
+    parse_request_line,
+)
+from repro.serving.server import ReleaseServer, ServerStats
+
+__all__ = [
+    "ErrorResponse",
+    "LRUProfileCache",
+    "MicroBatcher",
+    "QueryRequest",
+    "QueryResponse",
+    "ReleaseRegistry",
+    "ReleaseServer",
+    "ServerStats",
+    "parse_request_line",
+]

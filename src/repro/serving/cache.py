@@ -1,0 +1,69 @@
+"""Bounded profile caching for long-lived servers.
+
+A query engine memoizes per-axis adjoint profiles forever — the right
+call for one workload in one process, but a server that lives for weeks
+under arbitrary traffic needs a *bounded* memo.  :class:`LRUProfileCache`
+keeps the :class:`~repro.analysis.exact.AxisProfileCache` batch-fill
+machinery (each distinct uncached range still costs one vectorized
+transform call) and adds a per-axis least-recently-used bound, so
+dashboard-style traffic — the same axis ranges re-asked all day — stays
+warm while one-off scans cannot grow the cache without limit.
+
+The cache key is the axis range ``(lo, hi)`` itself, which is why reuse
+is so high in practice: a dashboard re-rendering 50 widgets re-asks the
+same 50 boxes, and every axis range of every box hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.analysis.exact import AxisProfileCache
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["LRUProfileCache"]
+
+
+class LRUProfileCache(AxisProfileCache):
+    """An :class:`AxisProfileCache` with a per-axis LRU entry bound.
+
+    Parameters
+    ----------
+    transforms:
+        Per-axis transform sequence, as for the base class.
+    max_entries_per_axis:
+        Most profiles kept per axis; the least recently *used* entry is
+        evicted first.  Memory is bounded by ``d * max_entries_per_axis``
+        floats regardless of traffic.
+    """
+
+    def __init__(self, transforms, *, max_entries_per_axis: int = 4096):
+        super().__init__(transforms)
+        self._max_entries = ensure_positive_int(
+            max_entries_per_axis, "max_entries_per_axis"
+        )
+        self._caches = [OrderedDict() for _ in self._transforms]
+        #: Entries dropped to respect the bound (monotone counter).
+        self.evictions = 0
+
+    @property
+    def max_entries_per_axis(self) -> int:
+        """The configured per-axis bound."""
+        return self._max_entries
+
+    def _get(self, axis: int, key: tuple[int, int]) -> float | None:
+        """Bounded lookup: a hit refreshes the entry's recency."""
+        cache = self._caches[axis]
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+        return value
+
+    def _put(self, axis: int, key: tuple[int, int], value: float) -> None:
+        """Bounded insert: evicts the least recently used entry on overflow."""
+        cache = self._caches[axis]
+        cache[key] = value
+        cache.move_to_end(key)
+        if len(cache) > self._max_entries:
+            cache.popitem(last=False)
+            self.evictions += 1

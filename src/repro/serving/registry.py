@@ -1,0 +1,177 @@
+"""A named, thread-safe registry of releases.
+
+A serving process holds *many* releases — different datasets, epochs, or
+ε budgets — and requests address them by name.  The registry maps names
+to either in-process :class:`~repro.core.framework.PublishResult`
+objects (just published, never written to disk) or archive-backed
+:class:`~repro.io.ResultHandle` entries that stay unloaded until their
+first request (so registering fifty archives costs fifty header reads,
+not fifty payload loads).
+
+Every entry carries its own re-entrant lock: the server uses it to make
+lazy loading, engine construction, and any direct entry access safe
+under concurrent traffic without a global serving lock.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.framework import PublishResult
+from repro.errors import ServingError
+from repro.io import ResultHandle, open_result
+
+__all__ = ["ReleaseRegistry"]
+
+
+@dataclass
+class _Entry:
+    """One registered release: in-process result or lazy archive handle."""
+
+    result: PublishResult | None = None
+    handle: ResultHandle | None = None
+    lock: threading.RLock = field(default_factory=threading.RLock)
+
+
+class ReleaseRegistry:
+    """Name → release mapping with lazy archive loading and per-name locks."""
+
+    def __init__(self):
+        self._entries: dict[str, _Entry] = {}
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All registered release names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    def register(self, name: str, result: PublishResult) -> str:
+        """Register an in-process published result under ``name``.
+
+        Parameters
+        ----------
+        name:
+            Unique release name requests will address.
+        result:
+            The published result to serve.
+
+        Returns
+        -------
+        str
+            The registered name (for chaining).  Duplicate names raise
+            :class:`~repro.errors.ServingError` — re-publishing under an
+            existing name would silently change answers under traffic.
+        """
+        if not isinstance(result, PublishResult):
+            raise ServingError(
+                f"can only register a PublishResult, got {type(result).__name__}"
+            )
+        with self._lock:
+            self._check_new_name(name)
+            self._entries[name] = _Entry(result=result)
+        return name
+
+    def register_archive(self, path, *, name: str | None = None) -> str:
+        """Register an archive lazily; the payload loads on first touch.
+
+        Parameters
+        ----------
+        path:
+            A ``.npz`` archive written by :func:`repro.io.save_result`.
+            The header is read (and validated) now; arrays are not.
+        name:
+            Release name; defaults to the file stem (``release.npz`` →
+            ``release``).
+
+        Returns
+        -------
+        str
+            The registered name.
+        """
+        if name is None:
+            name = pathlib.Path(str(path)).stem
+        handle = open_result(path)
+        with self._lock:
+            self._check_new_name(name)
+            self._entries[name] = _Entry(handle=handle)
+        return name
+
+    def get(self, name: str) -> PublishResult:
+        """Resolve ``name`` to its result, loading an archive on first touch.
+
+        Returns
+        -------
+        PublishResult
+            The registered (or lazily loaded) result.  Unknown names
+            raise :class:`~repro.errors.ServingError` with code
+            ``unknown-release``.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            if entry.result is None:
+                entry.result = entry.handle.load()
+            return entry.result
+
+    def lock_for(self, name: str) -> threading.RLock:
+        """The per-release lock guarding ``name``'s entry."""
+        return self._entry(name).lock
+
+    def describe(self, name: str) -> dict:
+        """Cheap metadata for ``name`` without forcing a payload load.
+
+        Returns
+        -------
+        dict
+            ``name``, ``source`` (``memory`` or the archive path),
+            ``loaded``, and — when known without loading — ``epsilon``,
+            ``representation``, and the schema ``shape``.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            if entry.result is not None:
+                release = entry.result.release
+                return {
+                    "name": name,
+                    "source": entry.handle.path if entry.handle else "memory",
+                    "loaded": True,
+                    "epsilon": entry.result.epsilon,
+                    "representation": entry.result.representation,
+                    "shape": list(release.schema.shape),
+                }
+            return {
+                "name": name,
+                "source": entry.handle.path,
+                "loaded": False,
+                "epsilon": entry.handle.epsilon,
+                "representation": entry.handle.representation,
+                "shape": list(entry.handle.schema().shape),
+            }
+
+    # ------------------------------------------------------------------
+    def _entry(self, name: str) -> _Entry:
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise ServingError(
+                f"unknown release {name!r}; registered: {self.names}",
+                code="unknown-release",
+            )
+        return entry
+
+    def _check_new_name(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise ServingError(f"release name must be a non-empty string, got {name!r}")
+        if name in self._entries:
+            raise ServingError(f"release {name!r} is already registered")
+
+    def __repr__(self) -> str:
+        return f"ReleaseRegistry({list(self.names)})"

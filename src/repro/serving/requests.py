@@ -1,0 +1,253 @@
+"""Wire types of the serving layer: requests and responses.
+
+A :class:`QueryRequest` names a registered release and carries one
+range-count query as per-attribute half-open ranges — the serving-layer
+analogue of :class:`~repro.queries.query.RangeCountQuery`, except it is
+*unbound*: it references attributes by name and is only compiled against
+a schema (:meth:`QueryRequest.to_query`) once the server has resolved
+the release.  Responses are plain dataclasses with a stable JSON form,
+so the ``python -m repro serve`` JSONL loop and in-process callers see
+the same shapes.
+
+Wire format (one JSON object per line)::
+
+    {"id": 7, "release": "brazil", "ranges": {"Age": [18, 65]},
+     "confidence": 0.95}
+
+    {"ok": true, "id": 7, "release": "brazil", "estimate": 1234.5,
+     "noise_std": 21.9, "lower": 1191.6, "upper": 1277.4,
+     "confidence": 0.95}
+
+    {"ok": false, "id": 7, "code": "unknown-release",
+     "error": "unknown release 'brazil'; registered: ('us',)"}
+
+Failures never surface as tracebacks on the wire: every error becomes an
+:class:`ErrorResponse` whose ``code`` is machine-readable
+(``bad-request``, ``unknown-release``, ``closed``, ``internal``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError, ServingError
+from repro.queries.predicate import Predicate
+from repro.queries.query import RangeCountQuery
+
+__all__ = ["QueryRequest", "QueryResponse", "ErrorResponse", "parse_request_line"]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One range-count query addressed to a named release.
+
+    Parameters
+    ----------
+    release:
+        Name of the target release in the server's registry.
+    ranges:
+        Per-attribute half-open ranges — a mapping ``{name: (lo, hi)}``
+        or an iterable of ``(name, lo, hi)`` triples.  Attributes not
+        named default to their full domain, exactly like a
+        :class:`~repro.queries.query.RangeCountQuery` with missing
+        predicates.  Normalized to a sorted tuple of triples so equal
+        requests hash and compare equal (which is what makes
+        dashboard-style traffic cache-friendly).
+    confidence:
+        Two-sided confidence level for the interval, in ``(0, 1)``.
+    request_id:
+        Opaque caller token echoed back on the response (any JSON-able
+        value).
+    """
+
+    release: str
+    ranges: tuple = field(default_factory=tuple)
+    confidence: float = 0.95
+    request_id: object = None
+
+    def __post_init__(self):
+        if not isinstance(self.release, str) or not self.release:
+            raise ServingError(
+                f"request needs a non-empty release name, got {self.release!r}"
+            )
+        try:
+            confidence = float(self.confidence)
+        except (TypeError, ValueError):
+            raise ServingError(
+                f"confidence must be a number, got {self.confidence!r}"
+            ) from None
+        if not 0.0 < confidence < 1.0:
+            raise ServingError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        object.__setattr__(self, "confidence", confidence)
+        items = (
+            self.ranges.items()
+            if isinstance(self.ranges, dict)
+            else self.ranges
+        )
+        normalized = []
+        for item in items:
+            try:
+                if isinstance(self.ranges, dict):
+                    name, (lo, hi) = item
+                else:
+                    name, lo, hi = item
+                normalized.append((str(name), int(lo), int(hi)))
+            except (TypeError, ValueError):
+                raise ServingError(
+                    f"each range must be (attribute, lo, hi), got {item!r}"
+                ) from None
+        object.__setattr__(self, "ranges", tuple(sorted(normalized)))
+
+    @classmethod
+    def from_dict(cls, payload) -> "QueryRequest":
+        """Build a request from a decoded wire payload.
+
+        Parameters
+        ----------
+        payload:
+            A JSON object with ``release`` (required), ``ranges``
+            (optional mapping ``{name: [lo, hi]}``), ``confidence``
+            (optional), and ``id`` (optional).
+
+        Returns
+        -------
+        QueryRequest
+            The validated request.  Raises
+            :class:`~repro.errors.ServingError` on any malformed field.
+        """
+        if not isinstance(payload, dict):
+            raise ServingError(f"request must be a JSON object, got {payload!r}")
+        unknown = set(payload) - {"release", "ranges", "confidence", "id", "op"}
+        if unknown:
+            raise ServingError(f"unknown request fields: {sorted(unknown)}")
+        if "release" not in payload:
+            raise ServingError("request lacks the required 'release' field")
+        ranges = payload.get("ranges", {})
+        if not isinstance(ranges, dict):
+            raise ServingError(
+                f"'ranges' must be an object of {{attribute: [lo, hi]}}, "
+                f"got {ranges!r}"
+            )
+        return cls(
+            release=payload["release"],
+            ranges=ranges,
+            confidence=payload.get("confidence", 0.95),
+            request_id=payload.get("id"),
+        )
+
+    def to_dict(self) -> dict:
+        """The wire form of this request (inverse of :meth:`from_dict`)."""
+        payload = {
+            "release": self.release,
+            "ranges": {name: [lo, hi] for name, lo, hi in self.ranges},
+            "confidence": self.confidence,
+        }
+        if self.request_id is not None:
+            payload["id"] = self.request_id
+        return payload
+
+    def to_query(self, schema) -> RangeCountQuery:
+        """Bind this request to a schema as a range-count query.
+
+        Parameters
+        ----------
+        schema:
+            The resolved release's :class:`~repro.data.schema.Schema`.
+
+        Returns
+        -------
+        RangeCountQuery
+            Query with one predicate per named range.  Unknown attribute
+            names or out-of-bounds ranges raise
+            :class:`~repro.errors.QueryError` (mapped to a
+            ``bad-request`` response by the server).
+        """
+        predicates = tuple(
+            Predicate(name, lo, hi) for name, lo, hi in self.ranges
+        )
+        return RangeCountQuery(schema, predicates)
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """A served answer: estimate, exact noise std, and interval."""
+
+    release: str
+    estimate: float
+    noise_std: float
+    lower: float
+    upper: float
+    confidence: float
+    request_id: object = None
+
+    def to_dict(self) -> dict:
+        """The JSONL wire form (``ok: true``)."""
+        return {
+            "ok": True,
+            "id": self.request_id,
+            "release": self.release,
+            "estimate": self.estimate,
+            "noise_std": self.noise_std,
+            "lower": self.lower,
+            "upper": self.upper,
+            "confidence": self.confidence,
+        }
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A structured failure: machine-readable code plus a message."""
+
+    code: str
+    error: str
+    request_id: object = None
+
+    @classmethod
+    def from_exception(cls, exc: Exception, request_id=None) -> "ErrorResponse":
+        """Map an exception to its wire form.
+
+        :class:`~repro.errors.ServingError` keeps its own ``code``;
+        every other library error is a ``bad-request``; anything else is
+        ``internal`` (and still never a traceback on the wire).
+        """
+        if isinstance(exc, ServingError):
+            code = exc.code
+        elif isinstance(exc, ReproError):
+            code = "bad-request"
+        else:
+            code = "internal"
+        return cls(code=code, error=str(exc), request_id=request_id)
+
+    def to_dict(self) -> dict:
+        """The JSONL wire form (``ok: false``)."""
+        return {
+            "ok": False,
+            "id": self.request_id,
+            "code": self.code,
+            "error": self.error,
+        }
+
+
+def parse_request_line(line: str) -> QueryRequest:
+    """Decode one JSONL request line into a :class:`QueryRequest`.
+
+    Parameters
+    ----------
+    line:
+        One line of the ``serve`` loop's stdin.
+
+    Returns
+    -------
+    QueryRequest
+        The parsed request; malformed JSON raises
+        :class:`~repro.errors.ServingError` so the loop can answer with
+        a ``bad-request`` :class:`ErrorResponse` instead of crashing.
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServingError(f"malformed JSON request: {exc}") from exc
+    return QueryRequest.from_dict(payload)

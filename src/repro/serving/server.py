@@ -1,0 +1,377 @@
+"""The multi-release serving layer: registry + engines + micro-batching.
+
+:class:`ReleaseServer` is the first layer of this library whose job is
+*throughput* rather than a single answer.  It composes the pieces below
+it into one front door for query traffic:
+
+* a :class:`~repro.serving.registry.ReleaseRegistry` of named releases
+  (in-process results or lazily loaded archives);
+* one :class:`~repro.queries.engine.QueryEngine` per release, built on
+  first touch under that release's lock, each with a **bounded**
+  :class:`~repro.serving.cache.LRUProfileCache` so repeated dashboard
+  ranges hit warm adjoint profiles while the server's memory stays
+  bounded for life;
+* an adaptive :class:`~repro.serving.batching.MicroBatcher` that
+  coalesces concurrent single-query requests into one
+  ``answer_all_with_intervals`` call per ``(release, confidence)`` group
+  — concurrency in, vectorized batches out;
+* server-level stats: profile-cache hit rate, batch-size profile, and
+  p50/p99 request latency over a sliding window.
+
+Threading model
+---------------
+``submit``/``query`` may be called from any number of threads.  All
+answering happens on the batcher's single drain thread, so engines and
+their caches see single-threaded access on the hot path; per-release
+locks additionally guard lazy loading and engine construction for
+callers that touch :meth:`ReleaseServer.engine` directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.release import convert_result
+from repro.errors import ServingError
+from repro.queries.engine import QueryEngine
+from repro.serving.batching import MicroBatcher
+from repro.serving.cache import LRUProfileCache
+from repro.serving.registry import ReleaseRegistry
+from repro.serving.requests import QueryRequest, QueryResponse
+
+__all__ = ["ReleaseServer", "ServerStats"]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A point-in-time snapshot of a server's serving counters."""
+
+    #: Registered release names.
+    releases: tuple
+    #: Engines built so far (<= len(releases); engines build lazily).
+    engines_built: int
+    #: Requests completed (successfully answered).
+    requests: int
+    #: Requests that resolved to an error response/exception.
+    errors: int
+    #: Handler batches dispatched by the micro-batcher.
+    batches: int
+    #: Mean items per batch so far.
+    mean_batch_size: float
+    #: Largest single batch so far.
+    largest_batch: int
+    #: Distinct-range profile lookups served from cache, all engines.
+    profile_cache_hits: int
+    #: Distinct-range profile lookups that computed, all engines.
+    profile_cache_misses: int
+    #: hits / (hits + misses), 0.0 before any lookup.
+    profile_cache_hit_rate: float
+    #: LRU evictions across engines (0 until a cache fills).
+    profile_cache_evictions: int
+    #: Median request latency (submit → answered) over the window.
+    p50_latency_seconds: float
+    #: 99th-percentile request latency over the window.
+    p99_latency_seconds: float
+    #: The batcher's current adaptive linger window.
+    linger_seconds: float
+
+
+class ReleaseServer:
+    """Serve query traffic against many named releases concurrently.
+
+    Parameters
+    ----------
+    registry:
+        An existing :class:`ReleaseRegistry` to serve from; a fresh
+        empty one by default.
+    max_batch:
+        Most queries coalesced into one engine call.
+    max_linger_seconds:
+        Upper bound of the adaptive micro-batching window.
+    profile_cache_entries:
+        Per-axis bound of each engine's LRU profile cache.
+    representation:
+        ``None`` serves each release as stored; ``"dense"`` or
+        ``"coefficients"`` converts on first touch (the conversion is
+        answer-preserving, see :func:`repro.core.release.convert_result`).
+    sa_names:
+        Optional SA-set override forwarded to every engine — the escape
+        hatch for archives whose metadata does not record one.  A value
+        conflicting with a coefficient release's own SA set surfaces as
+        a ``bad-request`` error on that release's first request.
+    latency_window:
+        Sliding-window size (requests) for the latency percentiles.
+    """
+
+    def __init__(
+        self,
+        registry: ReleaseRegistry | None = None,
+        *,
+        max_batch: int = 256,
+        max_linger_seconds: float = 0.002,
+        profile_cache_entries: int = 4096,
+        representation: str | None = None,
+        sa_names=None,
+        latency_window: int = 8192,
+    ):
+        self._registry = registry if registry is not None else ReleaseRegistry()
+        self._representation = representation
+        self._sa_names = sa_names
+        self._profile_cache_entries = int(profile_cache_entries)
+        self._engines: dict[str, QueryEngine] = {}
+        self._engines_lock = threading.RLock()
+        self._latencies: deque = deque(maxlen=int(latency_window))
+        self._requests = 0
+        self._errors = 0
+        self._closed = False
+        self._batcher = MicroBatcher(
+            self._handle_batch,
+            max_batch=max_batch,
+            max_linger_seconds=max_linger_seconds,
+            name="repro-release-server",
+        )
+
+    # ------------------------------------------------------------------
+    # Registry facade
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> ReleaseRegistry:
+        """The registry this server resolves release names in."""
+        return self._registry
+
+    @property
+    def names(self) -> tuple:
+        """Registered release names, sorted."""
+        return self._registry.names
+
+    def register(self, name: str, result) -> str:
+        """Register an in-process ``result`` under ``name`` (see
+        :meth:`ReleaseRegistry.register`)."""
+        return self._registry.register(name, result)
+
+    def register_archive(self, path, *, name: str | None = None) -> str:
+        """Register the archive at ``path`` lazily under ``name`` (see
+        :meth:`ReleaseRegistry.register_archive`)."""
+        return self._registry.register_archive(path, name=name)
+
+    def describe(self, name: str) -> dict:
+        """Cheap metadata for release ``name`` (no payload load)."""
+        return self._registry.describe(name)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def engine(self, name: str) -> QueryEngine:
+        """The per-release engine, built on first touch under its lock.
+
+        Parameters
+        ----------
+        name:
+            A registered release name.
+
+        Returns
+        -------
+        QueryEngine
+            The engine serving that release, with this server's bounded
+            profile cache installed.
+        """
+        engine = self._engines.get(name)
+        if engine is not None:
+            return engine
+        with self._registry.lock_for(name):
+            engine = self._engines.get(name)
+            if engine is not None:
+                return engine
+            result = self._registry.get(name)
+            if self._representation is not None:
+                result = convert_result(
+                    result, self._representation, sa_names=self._sa_names
+                )
+            entries = self._profile_cache_entries
+            engine = QueryEngine(
+                result,
+                sa_names=self._sa_names,
+                profile_cache_factory=lambda transforms: LRUProfileCache(
+                    transforms, max_entries_per_axis=entries
+                ),
+            )
+            with self._engines_lock:
+                self._engines[name] = engine
+            return engine
+
+    def submit(self, request: QueryRequest):
+        """Enqueue one request; returns a future of its :class:`QueryResponse`.
+
+        Parameters
+        ----------
+        request:
+            The request to serve.
+
+        Returns
+        -------
+        concurrent.futures.Future
+            Resolves to a :class:`QueryResponse`, or raises the
+            per-request error (e.g. ``unknown-release``).
+        """
+        if self._closed:
+            raise ServingError("server is closed", code="closed")
+        if not isinstance(request, QueryRequest):
+            raise ServingError(
+                f"submit needs a QueryRequest, got {type(request).__name__}"
+            )
+        return self._batcher.submit((request, time.monotonic()))
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request synchronously (through the batching queue).
+
+        Parameters
+        ----------
+        request:
+            The request to serve.
+
+        Returns
+        -------
+        QueryResponse
+            The answer with exact noise std and confidence interval.
+        """
+        return self.submit(request).result()
+
+    def query_many(self, requests) -> list:
+        """Serve many requests, coalesced into as few batches as possible.
+
+        Parameters
+        ----------
+        requests:
+            Iterable of :class:`QueryRequest`.
+
+        Returns
+        -------
+        list[QueryResponse]
+            Responses aligned with ``requests``; the first failing
+            request's error is raised.
+        """
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Stats / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        """A consistent-enough snapshot of the serving counters.
+
+        Returns
+        -------
+        ServerStats
+            Aggregated over every engine built so far; latency
+            percentiles cover the sliding window only.
+        """
+        with self._engines_lock:
+            engines = list(self._engines.values())
+        hits = sum(engine.profile_cache.hits for engine in engines)
+        misses = sum(engine.profile_cache.misses for engine in engines)
+        evictions = sum(
+            getattr(engine.profile_cache, "evictions", 0) for engine in engines
+        )
+        latencies = np.asarray(self._latencies, dtype=np.float64)
+        p50, p99 = (
+            (float(np.percentile(latencies, 50)), float(np.percentile(latencies, 99)))
+            if latencies.size
+            else (0.0, 0.0)
+        )
+        return ServerStats(
+            releases=self.names,
+            engines_built=len(engines),
+            requests=self._requests,
+            errors=self._errors,
+            batches=self._batcher.batches,
+            mean_batch_size=self._batcher.mean_batch_size,
+            largest_batch=self._batcher.largest_batch,
+            profile_cache_hits=hits,
+            profile_cache_misses=misses,
+            profile_cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            profile_cache_evictions=evictions,
+            p50_latency_seconds=p50,
+            p99_latency_seconds=p99,
+            linger_seconds=self._batcher.linger_seconds,
+        )
+
+    def close(self) -> None:
+        """Stop the batching thread; later submits raise ``closed``."""
+        self._closed = True
+        self._batcher.close()
+
+    def __enter__(self) -> "ReleaseServer":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: closes the server."""
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReleaseServer(releases={list(self.names)}, "
+            f"engines={len(self._engines)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Batch handler (runs on the drain thread)
+    # ------------------------------------------------------------------
+    def _handle_batch(self, payloads) -> list:
+        """Answer one coalesced batch, grouped per (release, confidence).
+
+        Returns one entry per payload: a :class:`QueryResponse`, or an
+        :class:`Exception` for that request alone (the micro-batcher
+        sets it on the matching future, isolating failures per request).
+        """
+        results: list = [None] * len(payloads)
+        groups: dict[tuple, list[int]] = {}
+        for index, (request, _) in enumerate(payloads):
+            groups.setdefault((request.release, request.confidence), []).append(index)
+        for (release_name, confidence), indexes in groups.items():
+            try:
+                engine = self.engine(release_name)
+            except Exception as exc:  # noqa: BLE001 - becomes per-request error
+                for index in indexes:
+                    results[index] = exc
+                continue
+            queries, valid = [], []
+            for index in indexes:
+                request = payloads[index][0]
+                try:
+                    queries.append(request.to_query(engine.schema))
+                    valid.append(index)
+                except Exception as exc:  # noqa: BLE001
+                    results[index] = exc
+            if not valid:
+                continue
+            try:
+                batch = engine.answer_all_with_intervals(queries, confidence)
+            except Exception as exc:  # noqa: BLE001
+                for index in valid:
+                    results[index] = exc
+                continue
+            for position, index in enumerate(valid):
+                answer = batch[position]
+                results[index] = QueryResponse(
+                    release=release_name,
+                    estimate=answer.estimate,
+                    noise_std=answer.noise_std,
+                    lower=answer.lower,
+                    upper=answer.upper,
+                    confidence=answer.confidence,
+                    request_id=payloads[index][0].request_id,
+                )
+        now = time.monotonic()
+        for result, (_, enqueued) in zip(results, payloads):
+            self._latencies.append(now - enqueued)
+            if isinstance(result, Exception):
+                self._errors += 1
+            else:
+                self._requests += 1
+        return results

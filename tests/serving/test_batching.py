@@ -1,0 +1,141 @@
+"""Tests for the adaptive micro-batcher."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.batching import MicroBatcher
+
+
+class TestCoalescing:
+    def test_single_item_round_trip(self):
+        with MicroBatcher(lambda items: [x * 2 for x in items]) as batcher:
+            assert batcher.submit(21).result(timeout=5) == 42
+
+    def test_concurrent_submits_coalesce(self):
+        release = threading.Event()
+        batch_sizes = []
+
+        def handler(items):
+            release.wait(5)
+            batch_sizes.append(len(items))
+            return items
+
+        with MicroBatcher(handler, max_linger_seconds=0.05) as batcher:
+            first = batcher.submit(0)  # occupies the drain thread
+            time.sleep(0.02)
+            rest = [batcher.submit(i) for i in range(1, 8)]
+            release.set()
+            assert first.result(timeout=5) == 0
+            assert [f.result(timeout=5) for f in rest] == list(range(1, 8))
+        # Everything submitted within the linger window coalesces: far
+        # fewer handler calls than items, and at least one real batch.
+        assert sum(batch_sizes) == 8
+        assert len(batch_sizes) <= 3
+        assert max(batch_sizes) > 1
+
+    def test_max_batch_bounds_coalescing(self):
+        release = threading.Event()
+        batch_sizes = []
+
+        def handler(items):
+            release.wait(5)
+            batch_sizes.append(len(items))
+            return items
+
+        with MicroBatcher(handler, max_batch=3, max_linger_seconds=0.05) as batcher:
+            futures = [batcher.submit(i) for i in range(10)]
+            release.set()
+            [f.result(timeout=5) for f in futures]
+        assert max(batch_sizes) <= 3
+
+
+class TestFailureIsolation:
+    def test_exception_result_fails_only_that_item(self):
+        def handler(items):
+            return [
+                ServingError("odd") if item % 2 else item for item in items
+            ]
+
+        with MicroBatcher(handler) as batcher:
+            good = batcher.submit(2)
+            bad = batcher.submit(3)
+            assert good.result(timeout=5) == 2
+            with pytest.raises(ServingError, match="odd"):
+                bad.result(timeout=5)
+
+    def test_handler_raise_fails_whole_batch(self):
+        def handler(items):
+            raise RuntimeError("boom")
+
+        with MicroBatcher(handler) as batcher:
+            future = batcher.submit(1)
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(timeout=5)
+
+    def test_length_mismatch_is_serving_error(self):
+        with MicroBatcher(lambda items: []) as batcher:
+            future = batcher.submit(1)
+            with pytest.raises(ServingError, match="results"):
+                future.result(timeout=5)
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher(lambda items: items)
+        batcher.close()
+        with pytest.raises(ServingError) as excinfo:
+            batcher.submit(1)
+        assert excinfo.value.code == "closed"
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(lambda items: items)
+        batcher.close()
+        batcher.close()
+
+    def test_counters(self):
+        with MicroBatcher(lambda items: items) as batcher:
+            for i in range(5):
+                batcher.submit(i).result(timeout=5)
+        assert batcher.items == 5
+        assert batcher.batches >= 1
+        assert batcher.largest_batch >= 1
+        assert batcher.mean_batch_size == pytest.approx(
+            batcher.items / batcher.batches
+        )
+
+    def test_rejects_bad_linger_bounds(self):
+        with pytest.raises(ServingError, match="linger"):
+            MicroBatcher(lambda items: items, min_linger_seconds=0.5,
+                         max_linger_seconds=0.1)
+
+
+class TestAdaptiveLinger:
+    def test_solo_batches_shrink_the_window(self):
+        batcher = MicroBatcher(
+            lambda items: items, max_linger_seconds=0.008, min_linger_seconds=0.0
+        )
+        try:
+            start = batcher.linger_seconds
+            for i in range(6):
+                batcher.submit(i).result(timeout=5)
+            assert batcher.linger_seconds < start
+        finally:
+            batcher.close()
+
+    def test_adapt_grows_on_full_batches(self):
+        batcher = MicroBatcher(lambda items: items, max_batch=4,
+                               max_linger_seconds=0.01)
+        try:
+            batcher._linger = 0.0
+            batcher._adapt(4)
+            assert batcher.linger_seconds > 0.0
+            grown = batcher.linger_seconds
+            batcher._adapt(4)
+            assert batcher.linger_seconds >= grown
+            batcher._adapt(1)
+            assert batcher.linger_seconds < batcher._max_linger
+        finally:
+            batcher.close()

@@ -1,0 +1,69 @@
+"""Tests for the bounded LRU profile cache (and the base cache's counters)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import AxisProfileCache
+from repro.serving.cache import LRUProfileCache
+from repro.transforms.haar import HaarTransform
+
+
+@pytest.fixture
+def transforms():
+    return [HaarTransform(16)]
+
+
+class TestCounters:
+    def test_base_cache_counts_hits_and_misses(self, transforms):
+        cache = AxisProfileCache(transforms)
+        cache.profiles(0, [0, 2, 0], [8, 6, 8])  # 2 distinct ranges
+        assert cache.misses == 2
+        assert cache.hits == 0
+        cache.profiles(0, [0], [8])
+        assert cache.hits == 1
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_scalar_profile_counts(self, transforms):
+        cache = AxisProfileCache(transforms)
+        cache.profile(0, 0, 8)
+        cache.profile(0, 0, 8)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
+class TestLRUProfileCache:
+    def test_matches_unbounded_cache(self, transforms):
+        rng = np.random.default_rng(0)
+        pairs = np.sort(rng.integers(0, 17, size=(64, 2)), axis=1)
+        bounded = LRUProfileCache(transforms, max_entries_per_axis=4)
+        unbounded = AxisProfileCache(transforms)
+        np.testing.assert_allclose(
+            bounded.profiles(0, pairs[:, 0], pairs[:, 1]),
+            unbounded.profiles(0, pairs[:, 0], pairs[:, 1]),
+        )
+
+    def test_bound_is_respected(self, transforms):
+        cache = LRUProfileCache(transforms, max_entries_per_axis=3)
+        for hi in range(1, 9):
+            cache.profile(0, 0, hi)
+        assert len(cache) == 3
+        assert cache.evictions == 5
+
+    def test_recency_protects_entries(self, transforms):
+        cache = LRUProfileCache(transforms, max_entries_per_axis=2)
+        cache.profile(0, 0, 4)
+        cache.profile(0, 0, 8)
+        cache.profile(0, 0, 4)   # refresh (0, 4)
+        cache.profile(0, 0, 12)  # evicts (0, 8), not (0, 4)
+        misses_before = cache.misses
+        cache.profile(0, 0, 4)
+        assert cache.misses == misses_before  # still cached
+
+    def test_eviction_then_recompute_is_consistent(self, transforms):
+        cache = LRUProfileCache(transforms, max_entries_per_axis=1)
+        first = cache.profile(0, 0, 8)
+        cache.profile(0, 0, 4)  # evicts (0, 8)
+        assert cache.profile(0, 0, 8) == pytest.approx(first)
+
+    def test_rejects_nonpositive_bound(self, transforms):
+        with pytest.raises(ValueError):
+            LRUProfileCache(transforms, max_entries_per_axis=0)

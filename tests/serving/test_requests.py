@@ -1,0 +1,114 @@
+"""Tests for the serving wire types."""
+
+import json
+
+import pytest
+
+from repro.data.attributes import OrdinalAttribute
+from repro.data.schema import Schema
+from repro.errors import QueryError, ServingError
+from repro.serving.requests import (
+    ErrorResponse,
+    QueryRequest,
+    QueryResponse,
+    parse_request_line,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema([OrdinalAttribute("X", 8), OrdinalAttribute("Y", 4)])
+
+
+class TestQueryRequest:
+    def test_ranges_normalize_from_dict_and_triples(self):
+        from_dict = QueryRequest("r", {"Y": (0, 2), "X": (1, 3)})
+        from_triples = QueryRequest("r", [("X", 1, 3), ("Y", 0, 2)])
+        assert from_dict == from_triples
+        assert from_dict.ranges == (("X", 1, 3), ("Y", 0, 2))
+        assert hash(from_dict) == hash(from_triples)
+
+    def test_defaults(self):
+        request = QueryRequest("r")
+        assert request.ranges == ()
+        assert request.confidence == 0.95
+        assert request.request_id is None
+
+    def test_rejects_bad_release(self):
+        with pytest.raises(ServingError, match="release name"):
+            QueryRequest("")
+        with pytest.raises(ServingError, match="release name"):
+            QueryRequest(7)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ServingError, match="confidence"):
+            QueryRequest("r", confidence=1.0)
+        with pytest.raises(ServingError, match="confidence"):
+            QueryRequest("r", confidence="high")
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ServingError, match="range"):
+            QueryRequest("r", [("X", 1)])
+        with pytest.raises(ServingError, match="range"):
+            QueryRequest("r", {"X": (1, "wide")})
+
+    def test_to_query_binds_predicates(self, schema):
+        query = QueryRequest("r", {"X": (2, 5)}).to_query(schema)
+        assert query.box() == ((2, 5), (0, 4))
+
+    def test_to_query_unknown_attribute(self, schema):
+        with pytest.raises(QueryError, match="no attribute"):
+            QueryRequest("r", {"Bogus": (0, 1)}).to_query(schema)
+
+    def test_to_query_out_of_bounds(self, schema):
+        with pytest.raises(QueryError):
+            QueryRequest("r", {"X": (0, 100)}).to_query(schema)
+
+    def test_dict_round_trip(self):
+        request = QueryRequest("r", {"X": (1, 3)}, confidence=0.9, request_id=42)
+        assert QueryRequest.from_dict(request.to_dict()) == request
+
+    def test_from_dict_requires_release(self):
+        with pytest.raises(ServingError, match="release"):
+            QueryRequest.from_dict({"ranges": {}})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ServingError, match="unknown request fields"):
+            QueryRequest.from_dict({"release": "r", "rangez": {}})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ServingError, match="JSON object"):
+            QueryRequest.from_dict([1, 2, 3])
+        with pytest.raises(ServingError, match="ranges"):
+            QueryRequest.from_dict({"release": "r", "ranges": [1]})
+
+
+class TestResponses:
+    def test_query_response_wire_shape(self):
+        response = QueryResponse("r", 10.0, 2.0, 6.0, 14.0, 0.95, request_id=3)
+        payload = response.to_dict()
+        assert payload["ok"] is True
+        assert payload["id"] == 3
+        assert payload["estimate"] == 10.0
+        json.dumps(payload)  # wire-serializable
+
+    def test_error_response_code_mapping(self):
+        serving = ServingError("gone", code="unknown-release")
+        assert ErrorResponse.from_exception(serving, 1).code == "unknown-release"
+        assert ErrorResponse.from_exception(QueryError("bad"), 1).code == "bad-request"
+        assert ErrorResponse.from_exception(ValueError("boom")).code == "internal"
+        payload = ErrorResponse.from_exception(serving, 1).to_dict()
+        assert payload["ok"] is False and payload["error"] == "gone"
+
+
+class TestParseRequestLine:
+    def test_parses_valid_line(self):
+        request = parse_request_line(
+            '{"release": "r", "ranges": {"X": [1, 3]}, "id": 9}'
+        )
+        assert request.release == "r"
+        assert request.request_id == 9
+
+    def test_malformed_json_is_serving_error(self):
+        with pytest.raises(ServingError, match="malformed JSON"):
+            parse_request_line("{nope")

@@ -1,0 +1,199 @@
+"""Tests for the multi-release server: correctness, batching, stats."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.privelet import publish_ordinal_release
+from repro.core.privelet_plus import PriveletPlusMechanism
+from repro.data.census import BRAZIL, generate_census_table
+from repro.errors import QueryError, ServingError
+from repro.io import save_result
+from repro.queries.engine import QueryEngine
+from repro.queries.workload import generate_workload
+from repro.serving.requests import QueryRequest
+from repro.serving.server import ReleaseServer
+
+
+@pytest.fixture(scope="module")
+def census_result():
+    table = generate_census_table(BRAZIL.scaled(0.05), 2_000, seed=0)
+    return PriveletPlusMechanism(sa_names="auto").publish(
+        table, 1.0, seed=1, materialize=False
+    )
+
+
+@pytest.fixture(scope="module")
+def ordinal_result():
+    return publish_ordinal_release(np.arange(64, dtype=np.float64), 1.0, seed=2)
+
+
+@pytest.fixture
+def server(census_result, ordinal_result):
+    with ReleaseServer(max_linger_seconds=0.001) as srv:
+        srv.register("census", census_result)
+        srv.register("ordinal", ordinal_result)
+        yield srv
+
+
+class TestAnswers:
+    def test_matches_direct_engine(self, server, census_result):
+        engine = QueryEngine(census_result)
+        request = QueryRequest("census", {"Age": (10, 40)}, confidence=0.9)
+        response = server.query(request)
+        direct = engine.answer_with_interval(
+            request.to_query(engine.schema), confidence=0.9
+        )
+        assert response.estimate == pytest.approx(direct.estimate)
+        assert response.noise_std == pytest.approx(direct.noise_std)
+        assert response.lower == pytest.approx(direct.lower)
+        assert response.upper == pytest.approx(direct.upper)
+        assert response.release == "census"
+
+    def test_full_range_request(self, server, ordinal_result):
+        response = server.query(QueryRequest("ordinal"))
+        total = ordinal_result.release.answer_box([(0, 64)])
+        assert response.estimate == pytest.approx(total)
+
+    def test_mixed_confidences_in_one_batch(self, server):
+        narrow = QueryRequest("ordinal", {"value": (0, 32)}, confidence=0.5)
+        wide = QueryRequest("ordinal", {"value": (0, 32)}, confidence=0.99)
+        responses = server.query_many([narrow, wide])
+        assert responses[0].estimate == pytest.approx(responses[1].estimate)
+        width = lambda r: r.upper - r.lower  # noqa: E731
+        assert width(responses[1]) > width(responses[0])
+        assert responses[0].confidence == 0.5
+
+    def test_query_many_matches_engine_batch(self, server, census_result):
+        engine = QueryEngine(census_result)
+        queries = generate_workload(engine.schema, 40, seed=3)
+        requests = [
+            QueryRequest(
+                "census",
+                {p.attribute_name: (p.lo, p.hi) for p in query.predicates},
+            )
+            for query in queries
+        ]
+        responses = server.query_many(requests)
+        # The request's sorted ranges must describe the same box.
+        expected = [
+            engine.answer(request.to_query(engine.schema))
+            for request in requests
+        ]
+        np.testing.assert_allclose(
+            [response.estimate for response in responses], expected, atol=1e-6
+        )
+
+    def test_concurrent_multi_release_traffic(self, server, census_result, ordinal_result):
+        engines = {
+            "census": QueryEngine(census_result),
+            "ordinal": QueryEngine(ordinal_result),
+        }
+        requests = []
+        for lo in range(0, 60, 3):
+            requests.append(QueryRequest("ordinal", {"value": (lo, 64)}))
+            requests.append(QueryRequest("census", {"Age": (0, lo + 1)}))
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(server.query, requests))
+        for request, response in zip(requests, responses):
+            engine = engines[request.release]
+            expected = engine.answer(request.to_query(engine.schema))
+            assert response.estimate == pytest.approx(expected, abs=1e-6)
+
+
+class TestErrors:
+    def test_unknown_release(self, server):
+        with pytest.raises(ServingError) as excinfo:
+            server.query(QueryRequest("missing"))
+        assert excinfo.value.code == "unknown-release"
+
+    def test_bad_request_is_isolated_from_batchmates(self, server, ordinal_result):
+        good = server.submit(QueryRequest("ordinal", {"value": (0, 8)}))
+        bad = server.submit(QueryRequest("ordinal", {"nope": (0, 1)}))
+        unknown = server.submit(QueryRequest("missing"))
+        expected = ordinal_result.release.answer_box([(0, 8)])
+        assert good.result(timeout=5).estimate == pytest.approx(expected)
+        with pytest.raises(QueryError):
+            bad.result(timeout=5)
+        with pytest.raises(ServingError):
+            unknown.result(timeout=5)
+
+    def test_submit_rejects_non_request(self, server):
+        with pytest.raises(ServingError, match="QueryRequest"):
+            server.submit({"release": "census"})
+
+    def test_closed_server_rejects_submits(self, census_result):
+        server = ReleaseServer()
+        server.register("census", census_result)
+        server.close()
+        with pytest.raises(ServingError) as excinfo:
+            server.query(QueryRequest("census"))
+        assert excinfo.value.code == "closed"
+
+    def test_sa_conflict_surfaces_as_query_error(self, census_result):
+        with ReleaseServer(sa_names=("Income",)) as server:
+            server.register("census", census_result)
+            with pytest.raises(QueryError, match="conflicts"):
+                server.query(QueryRequest("census"))
+
+
+class TestRepresentation:
+    def test_conversion_preserves_answers(self, census_result):
+        request = QueryRequest("census", {"Age": (5, 25)})
+        with ReleaseServer() as as_stored:
+            as_stored.register("census", census_result)
+            stored = as_stored.query(request)
+        with ReleaseServer(representation="dense") as converted:
+            converted.register("census", census_result)
+            dense = converted.query(request)
+            assert converted.engine("census").release.representation == "dense"
+        assert dense.estimate == pytest.approx(stored.estimate, abs=1e-6)
+        assert dense.noise_std == pytest.approx(stored.noise_std)
+
+
+class TestArchivesAndStats:
+    def test_archive_registration_is_lazy(self, tmp_path, ordinal_result):
+        path = tmp_path / "lazy.npz"
+        save_result(path, ordinal_result)
+        with ReleaseServer() as server:
+            server.register_archive(path)
+            assert server.names == ("lazy",)
+            assert server.describe("lazy")["loaded"] is False
+            assert server.stats().engines_built == 0
+            response = server.query(QueryRequest("lazy", {"value": (0, 16)}))
+            assert server.describe("lazy")["loaded"] is True
+            assert server.stats().engines_built == 1
+            expected = ordinal_result.release.answer_box([(0, 16)])
+            assert response.estimate == pytest.approx(expected)
+
+    def test_stats_counters_and_warm_hit_rate(self, census_result):
+        with ReleaseServer() as server:
+            server.register("census", census_result)
+            requests = [
+                QueryRequest("census", {"Age": (lo, lo + 10)}) for lo in range(20)
+            ]
+            server.query_many(requests)
+            cold = server.stats()
+            server.query_many(requests)
+            warm = server.stats()
+        assert cold.requests == 20 and warm.requests == 40
+        assert warm.profile_cache_hits > cold.profile_cache_hits
+        assert warm.profile_cache_hit_rate > cold.profile_cache_hit_rate
+        assert warm.errors == 0
+        assert warm.batches >= 2
+        assert warm.p50_latency_seconds <= warm.p99_latency_seconds
+        assert warm.releases == ("census",)
+
+    def test_error_counter(self, server):
+        before = server.stats().errors
+        with pytest.raises(ServingError):
+            server.query(QueryRequest("missing"))
+        assert server.stats().errors == before + 1
+
+    def test_bounded_profile_cache_evicts(self, ordinal_result):
+        with ReleaseServer(profile_cache_entries=4) as server:
+            server.register("ordinal", ordinal_result)
+            for lo in range(0, 60):
+                server.query(QueryRequest("ordinal", {"value": (lo, 64)}))
+            assert server.stats().profile_cache_evictions > 0

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import io
+import json
+
 import numpy as np
 import pytest
 
@@ -221,6 +224,40 @@ class TestCommands:
         assert code == 0
         assert "Basic" in capsys.readouterr().out
 
+    def test_query_conflicting_sa_on_v2_archive_exits_cleanly(
+        self, tmp_path, capsys
+    ):
+        """A v2 archive carries its own SA set; a conflicting override is
+        a clean CLI error, never a traceback."""
+        output = tmp_path / "release.npz"
+        main(
+            [
+                "publish",
+                str(output),
+                "--scale",
+                "0.05",
+                "--rows",
+                "1000",
+                "--representation",
+                "coefficients",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                str(output),
+                "--representation",
+                "coefficients",
+                "--sa",
+                "Gender",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "conflicts" in err
+
     def test_publish_basic(self, tmp_path):
         output = tmp_path / "basic.npz"
         assert (
@@ -239,3 +276,210 @@ class TestCommands:
             == 0
         )
         assert load_result(output).noise_magnitude == 2.0
+
+
+class TestServe:
+    """The JSONL serving loop: answers and errors are both structured."""
+
+    @pytest.fixture
+    def archives(self, tmp_path, capsys):
+        paths = {}
+        for name, dataset in (("br", "brazil"), ("us", "us")):
+            path = tmp_path / f"{name}.npz"
+            assert (
+                main(
+                    [
+                        "publish",
+                        str(path),
+                        "--dataset",
+                        dataset,
+                        "--scale",
+                        "0.05",
+                        "--rows",
+                        "1000",
+                        "--representation",
+                        "coefficients",
+                        "--seed",
+                        "1",
+                    ]
+                )
+                == 0
+            )
+            paths[name] = path
+        capsys.readouterr()
+        return paths
+
+    def _serve(self, monkeypatch, capsys, argv, lines):
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        code = main(argv)
+        captured = capsys.readouterr()
+        responses = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line.strip()
+        ]
+        return code, responses, captured.err
+
+    def test_serves_two_releases(self, archives, monkeypatch, capsys):
+        code, responses, err = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archives["br"]), str(archives["us"]),
+             "--stdin-jsonl", "--port-less"],
+            [
+                '{"id": 1, "release": "br", "ranges": {"Age": [10, 40]}}',
+                '{"id": 2, "release": "us", "ranges": {"Age": [0, 30]}}',
+                '{"id": 3, "release": "br", "ranges": {}}',
+            ],
+        )
+        assert code == 0
+        assert [r["id"] for r in responses] == [1, 2, 3]
+        assert all(r["ok"] for r in responses)
+        assert all(np.isfinite(r["estimate"]) for r in responses)
+        assert all(r["lower"] <= r["estimate"] <= r["upper"] for r in responses)
+        assert "serving 2 release(s)" in err
+        assert "served 3 request(s)" in err
+
+    def test_unknown_release_is_structured_error(
+        self, archives, monkeypatch, capsys
+    ):
+        code, responses, _ = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archives["br"])],
+            [
+                '{"id": 1, "release": "nope", "ranges": {}}',
+                '{"id": 2, "release": "br", "ranges": {}}',
+            ],
+        )
+        assert code == 0
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "unknown-release"
+        assert responses[0]["id"] == 1
+        assert responses[1]["ok"] is True  # the bad request hurt only itself
+
+    def test_malformed_jsonl_is_structured_error(
+        self, archives, monkeypatch, capsys
+    ):
+        code, responses, _ = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archives["br"])],
+            [
+                "this is not json",
+                '{"id": 2, "release": "br", "ranges": {"Bogus": [0, 1]}}',
+                '{"id": 3, "release": "br", "unknown_field": 1}',
+                '{"id": 4, "release": "br"}',
+            ],
+        )
+        assert code == 0
+        assert [r["ok"] for r in responses] == [False, False, False, True]
+        assert responses[0]["code"] == "bad-request"
+        assert "malformed JSON" in responses[0]["error"]
+        assert responses[1]["code"] == "bad-request"  # unknown attribute
+        assert responses[2]["code"] == "bad-request"  # unknown field
+        assert responses[3]["id"] == 4
+
+    def test_list_and_stats_ops(self, archives, monkeypatch, capsys):
+        code, responses, _ = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archives["br"]), str(archives["us"])],
+            [
+                '{"op": "list"}',
+                '{"id": 1, "release": "br", "ranges": {}}',
+                '{"op": "stats", "id": 99}',
+            ],
+        )
+        assert code == 0
+        listing = responses[0]
+        assert listing["ok"] and [r["name"] for r in listing["releases"]] == [
+            "br",
+            "us",
+        ]
+        # Archives are lazy: nothing is loaded before the first query.
+        assert all(r["loaded"] is False for r in listing["releases"])
+        stats = responses[2]
+        assert stats["id"] == 99
+        assert stats["stats"]["requests"] == 1
+        assert stats["stats"]["engines_built"] == 1
+        assert stats["stats"]["releases"] == ["br", "us"]
+
+    def test_name_equals_path_override(self, archives, monkeypatch, capsys):
+        code, responses, err = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", f"brazil-2026={archives['br']}"],
+            ['{"id": 1, "release": "brazil-2026", "ranges": {}}'],
+        )
+        assert code == 0
+        assert responses[0]["ok"] is True
+        assert responses[0]["release"] == "brazil-2026"
+
+    def test_path_containing_equals_is_served(
+        self, archives, tmp_path, monkeypatch, capsys
+    ):
+        """A filename with '=' (e.g. eps=1.0.npz) is a path, not a
+        NAME=PATH override, as long as it exists on disk."""
+        path = tmp_path / "eps=1.0.npz"
+        path.write_bytes(archives["br"].read_bytes())
+        code, responses, _ = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(path)],
+            ['{"id": 1, "release": "eps=1.0", "ranges": {}}'],
+        )
+        assert code == 0
+        assert responses[0]["ok"] is True
+
+    def test_truncated_archive_exits_cleanly(self, tmp_path, monkeypatch, capsys):
+        path = tmp_path / "truncated.npz"
+        path.write_bytes(b"PK\x03\x04" + b"\x00" * 40)
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["serve", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_duplicate_names_exit_cleanly(self, archives, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        code = main(["serve", str(archives["br"]), str(archives["br"])])
+        assert code == 2
+        assert "already registered" in capsys.readouterr().err
+
+    def test_missing_archive_exits_cleanly(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        code = main(["serve", str(tmp_path / "absent.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_conflicting_sa_on_v2_archive_is_structured_error(
+        self, archives, monkeypatch, capsys
+    ):
+        """--sa that contradicts a v2 archive's own SA set surfaces as a
+        bad-request response on that release's first request."""
+        code, responses, _ = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archives["br"]), "--sa", "Gender"],
+            ['{"id": 1, "release": "br", "ranges": {}}'],
+        )
+        assert code == 0
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "bad-request"
+        assert "conflicts" in responses[0]["error"]
+
+    def test_representation_conversion_flag(self, archives, monkeypatch, capsys):
+        _, stored, _ = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archives["br"])],
+            ['{"id": 1, "release": "br", "ranges": {"Age": [5, 25]}}'],
+        )
+        _, dense, _ = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archives["br"]), "--representation", "dense"],
+            ['{"id": 1, "release": "br", "ranges": {"Age": [5, 25]}}'],
+        )
+        assert stored[0]["estimate"] == pytest.approx(
+            dense[0]["estimate"], abs=1e-6
+        )

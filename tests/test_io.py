@@ -7,7 +7,14 @@ from repro.core.basic import BasicMechanism
 from repro.core.privelet_plus import PriveletPlusMechanism
 from repro.data.census import BRAZIL, census_schema
 from repro.errors import ReproError
-from repro.io import load_result, save_result, schema_from_dict, schema_to_dict
+from repro.io import (
+    ResultHandle,
+    load_result,
+    open_result,
+    save_result,
+    schema_from_dict,
+    schema_to_dict,
+)
 
 
 class TestSchemaRoundTrip:
@@ -115,3 +122,67 @@ class TestResultRoundTrip:
         )
         with pytest.raises(ReproError):
             load_result(bumped)
+
+
+class TestResultHandle:
+    @pytest.fixture
+    def coefficient_archive(self, mixed_table, tmp_path):
+        result = PriveletPlusMechanism(sa_names=("X",)).publish(
+            mixed_table, 1.0, seed=7, materialize=False
+        )
+        path = tmp_path / "coeff.npz"
+        save_result(path, result)
+        return path, result
+
+    def test_header_without_payload(self, coefficient_archive):
+        path, result = coefficient_archive
+        handle = open_result(path)
+        assert isinstance(handle, ResultHandle)
+        assert not handle.loaded
+        assert handle.representation == "coefficients"
+        assert handle.epsilon == 1.0
+        assert handle.schema() == result.release.schema
+        assert not handle.loaded  # header reads never load the payload
+
+    def test_load_is_cached(self, coefficient_archive):
+        path, result = coefficient_archive
+        handle = open_result(path)
+        loaded = handle.load()
+        assert handle.loaded
+        assert handle.load() is loaded
+        np.testing.assert_array_equal(
+            loaded.release.coefficients, result.release.coefficients
+        )
+
+    def test_v1_archive_defaults_to_dense(self, mixed_table, tmp_path):
+        result = BasicMechanism().publish(mixed_table, 1.0, seed=3)
+        path = tmp_path / "dense.npz"
+        save_result(path, result)
+        handle = open_result(path)
+        assert handle.representation == "dense"
+        assert handle.load().representation == "dense"
+
+    def test_missing_file_fails_fast(self, tmp_path):
+        with pytest.raises(ReproError, match="no such archive"):
+            open_result(tmp_path / "absent.npz")
+
+    def test_non_archive_fails_fast(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"definitely not a zip")
+        with pytest.raises(ReproError, match="not a repro result archive"):
+            open_result(path)
+
+    def test_truncated_zip_fails_fast(self, tmp_path):
+        """Zip magic followed by garbage (a truncated download) raises
+        BadZipFile inside numpy; it must surface as ReproError."""
+        path = tmp_path / "truncated.npz"
+        path.write_bytes(b"PK\x03\x04" + b"\x00" * 40)
+        with pytest.raises(ReproError, match="not a repro result archive"):
+            open_result(path)
+
+    def test_repr_shows_laziness(self, coefficient_archive):
+        path, _ = coefficient_archive
+        handle = open_result(path)
+        assert "lazy" in repr(handle)
+        handle.load()
+        assert "loaded" in repr(handle)
