@@ -47,16 +47,21 @@ from repro.core import (
     PublishingMechanism,
     PublishResult,
     Release,
+    ShardedRelease,
     clamp_nonnegative,
     convert_result,
+    partition_table,
     publish_nominal_release,
     publish_nominal_vector,
     publish_ordinal_release,
     publish_ordinal_vector,
+    publish_sharded,
     rescale_total,
     round_to_integers,
     sanitize,
     select_sa,
+    shard_bounds,
+    shard_seeds,
 )
 from repro.io import ResultHandle, load_result, open_result, save_result
 from repro.data import (
@@ -163,7 +168,12 @@ __all__ = [
     "Release",
     "DenseRelease",
     "CoefficientRelease",
+    "ShardedRelease",
     "convert_result",
+    "publish_sharded",
+    "partition_table",
+    "shard_bounds",
+    "shard_seeds",
     "PrivacyAccount",
     "HayHierarchicalMechanism",
     "BarakMechanism",

@@ -32,6 +32,15 @@ from repro.core.postprocess import (
     sanitize,
 )
 from repro.core.privelet_plus import PriveletPlusMechanism, select_sa
+from repro.core.sharding import (
+    ShardedRelease,
+    ShardSlot,
+    partition_table,
+    publish_sharded,
+    shard_bounds,
+    shard_schema,
+    shard_seeds,
+)
 from repro.core.sensitivity import (
     empirical_generalized_sensitivity,
     sensitivity_of_schema,
@@ -54,9 +63,16 @@ __all__ = [
     "Release",
     "DenseRelease",
     "CoefficientRelease",
+    "ShardedRelease",
+    "ShardSlot",
     "REPRESENTATIONS",
     "convert_result",
     "infer_sa_names",
+    "publish_sharded",
+    "partition_table",
+    "shard_bounds",
+    "shard_schema",
+    "shard_seeds",
     "PrivacyAccount",
     "laplace_noise",
     "laplace_variance",

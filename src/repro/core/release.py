@@ -19,7 +19,10 @@ prefix-sum oracle.  This module makes the representation pluggable:
 
 Both implement the **answer-backend protocol** the query engine serves
 through: ``schema``, :meth:`Release.answer_boxes`,
-:meth:`Release.marginal`, and :meth:`Release.to_matrix`.
+:meth:`Release.marginal`, and :meth:`Release.to_matrix`.  A third
+backend, :class:`~repro.core.sharding.ShardedRelease`, lives in its own
+module: disjoint horizontal shards published independently under DP
+parallel composition, composed behind the same protocol.
 
 How a coefficient release answers (Equation 3, batched)
 -------------------------------------------------------
@@ -54,6 +57,7 @@ __all__ = [
     "DenseRelease",
     "CoefficientRelease",
     "REPRESENTATIONS",
+    "marginal_boxes",
     "infer_sa_names",
     "convert_result",
 ]
@@ -64,6 +68,45 @@ REPRESENTATIONS = ("dense", "coefficients")
 #: Cap on (queries per chunk) x (gathered entries per query) so batch
 #: answering never allocates more than a few MB of scratch indices.
 _CHUNK_BUDGET = 1 << 21
+
+
+def marginal_boxes(schema, attribute_names):
+    """The box batch whose answers form a marginal table.
+
+    Each marginal cell is a box query — a point on the kept axes, the
+    full range elsewhere — so any backend with a batch box path can
+    serve marginals from one :meth:`Release.answer_boxes` call.  Shared
+    by the coefficient and sharded backends and by the engine's
+    marginal-std path.
+
+    Parameters
+    ----------
+    schema:
+        The released schema.
+    attribute_names:
+        Attributes to keep, in the desired output-axis order.
+
+    Returns
+    -------
+    tuple[list[int], numpy.ndarray, numpy.ndarray]
+        ``(kept_sizes, lows, highs)`` — reshape the box answers to
+        ``kept_sizes`` to obtain the marginal table.
+    """
+    names = list(attribute_names)
+    axes = schema.axes_of(names)
+    if len(set(axes)) != len(axes):
+        raise QueryError(f"duplicate attribute names: {names}")
+    kept_sizes = [schema.shape[axis] for axis in axes]
+    cells = int(np.prod(kept_sizes)) if kept_sizes else 1
+    grid = np.indices(kept_sizes, dtype=np.int64).reshape(len(axes), cells)
+    lows = np.zeros((cells, schema.dimensions), dtype=np.int64)
+    highs = np.broadcast_to(
+        np.asarray(schema.shape, dtype=np.int64), (cells, schema.dimensions)
+    ).copy()
+    for position, axis in enumerate(axes):
+        lows[:, axis] = grid[position]
+        highs[:, axis] = grid[position] + 1
+    return kept_sizes, lows, highs
 
 
 class Release:
@@ -108,6 +151,11 @@ class Release:
     def marginal(self, attribute_names) -> np.ndarray:
         """Marginal table over the attributes in ``attribute_names``.
 
+        The default implementation answers the marginal as one
+        :meth:`answer_boxes` batch (see :func:`marginal_boxes`), so any
+        backend with a batch box path serves marginals for free;
+        backends holding a dense matrix override with a direct sum.
+
         Parameters
         ----------
         attribute_names:
@@ -118,7 +166,8 @@ class Release:
         numpy.ndarray
             One axis per requested attribute (order of the request).
         """
-        raise NotImplementedError
+        kept_sizes, lows, highs = marginal_boxes(self.schema, attribute_names)
+        return self.answer_boxes(lows, highs).reshape(kept_sizes)
 
     def to_matrix(self) -> FrequencyMatrix:
         """The dense ``M*`` this release represents (may materialize)."""
@@ -166,7 +215,15 @@ class DenseRelease(Release):
     def answer_boxes(self, lows, highs) -> np.ndarray:
         # The oracle performs the same shape/bounds validation as
         # _check_boxes, so the batch is checked exactly once.
-        return self.oracle().answer_boxes(lows, highs)
+        answers = self.oracle().answer_boxes(lows, highs)
+        # An empty box has exactly zero cells; force the float-exact 0.0
+        # the inclusion-exclusion sum is not guaranteed to produce.
+        lows = np.asarray(lows, dtype=np.int64)
+        highs = np.asarray(highs, dtype=np.int64)
+        empty = np.any(lows == highs, axis=1)
+        if empty.any():
+            answers[empty] = 0.0
+        return answers
 
     def marginal(self, attribute_names) -> np.ndarray:
         return self._matrix.marginal(attribute_names)
@@ -311,6 +368,10 @@ class CoefficientRelease(Release):
         answers = np.empty(count, dtype=np.float64)
         if count == 0:
             return answers
+        # An empty box's adjoint is the zero vector, but the gather can
+        # leave ~1e-16 residue; pin it to the exact 0.0 the dense
+        # backend returns so the representations agree bit-for-bit.
+        empty = np.any(lows == highs, axis=1)
         served = self._serving_tensor()
         flat = served.reshape(-1)
         strides = np.asarray(
@@ -347,42 +408,9 @@ class CoefficientRelease(Release):
             answers[start:stop] = np.einsum(
                 "ij,ij->i", flat[combined_idx], combined_val
             )
+        if empty.any():
+            answers[empty] = 0.0
         return answers
-
-    def marginal(self, attribute_names) -> np.ndarray:
-        """Marginal table via batched box answers (still matrix-free).
-
-        Each marginal cell is a box query — a point on the kept axes and
-        the full range elsewhere — so the whole table is one
-        :meth:`answer_boxes` batch reshaped to the kept axes in
-        ``attribute_names`` order.
-
-        Parameters
-        ----------
-        attribute_names:
-            Attributes to keep, in the desired output-axis order.
-
-        Returns
-        -------
-        numpy.ndarray
-            One axis per requested attribute (order of the request).
-        """
-        schema = self.schema
-        names = list(attribute_names)
-        axes = schema.axes_of(names)
-        if len(set(axes)) != len(axes):
-            raise QueryError(f"duplicate attribute names: {names}")
-        kept_sizes = [schema.shape[axis] for axis in axes]
-        cells = int(np.prod(kept_sizes)) if kept_sizes else 1
-        grid = np.indices(kept_sizes, dtype=np.int64).reshape(len(axes), cells)
-        lows = np.zeros((cells, schema.dimensions), dtype=np.int64)
-        highs = np.broadcast_to(
-            np.asarray(schema.shape, dtype=np.int64), (cells, schema.dimensions)
-        ).copy()
-        for position, axis in enumerate(axes):
-            lows[:, axis] = grid[position]
-            highs[:, axis] = grid[position] + 1
-        return self.answer_boxes(lows, highs).reshape(kept_sizes)
 
     def to_matrix(self) -> FrequencyMatrix:
         """Materialize ``M*`` by inverting the transform (with refinement).
@@ -438,7 +466,9 @@ def convert_result(result, representation: str, *, sa_names=None):
     Returns ``result`` itself when it already has the requested
     representation.  ``sa_names`` overrides the inferred SA set for
     results whose metadata does not record one (mirroring
-    :class:`~repro.queries.engine.QueryEngine`'s escape hatch).
+    :class:`~repro.queries.engine.QueryEngine`'s escape hatch).  A
+    sharded release converts shard by shard (each shard carries its own
+    SA set, so ``sa_names`` is ignored) and stays sharded.
     """
     if representation not in REPRESENTATIONS:
         raise QueryError(
@@ -448,6 +478,14 @@ def convert_result(result, representation: str, *, sa_names=None):
     release = result.release
     if release.representation == representation:
         return result
+    # Imported here: repro.core.sharding imports this module.
+    from repro.core.sharding import ShardedRelease
+
+    if isinstance(release, ShardedRelease):
+        converted = release.convert(representation)
+        if converted is release:
+            return result
+        return dataclasses.replace(result, release=converted)
     if representation == "dense":
         converted = DenseRelease(release.to_matrix())
     else:

@@ -15,11 +15,18 @@ in one of two **formats**:
   extended with ``representation`` and the ordered ``sa`` set.  A v2
   archive of a 1-D domain with ``m = 2**24`` is served directly from its
   coefficients; the dense ``M*`` is never stored nor rebuilt.
+* **v3** (``format: 3``): a sharded release — a JSON **manifest**
+  (partition attribute, cut points, one accounting entry per shard)
+  plus one array member per shard (``shard<i>_coefficients`` or
+  ``shard<i>_values``).  Loading a v3 archive from a filesystem path is
+  **shard-lazy**: the manifest alone rebuilds the routing and exact
+  variance machinery, and each shard's payload is decompressed only
+  when the first query routes to it.
 
 The format is chosen by the result's representation: dense releases save
-as v1 (so older readers keep working), coefficient releases as v2.  Both
-load back to a :class:`PublishResult` that answers any workload
-identically to the saved one.
+as v1 (so older readers keep working), coefficient releases as v2,
+sharded releases as v3.  All load back to a :class:`PublishResult` that
+answers any workload identically to the saved one.
 
 Hierarchies are serialized by their parent arrays + labels, which is
 enough to rebuild an identical :class:`~repro.data.hierarchy.Hierarchy`
@@ -36,13 +43,15 @@ payload only when its first request arrives.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import zipfile
 
 import numpy as np
 
 from repro.core.framework import PublishResult
-from repro.core.release import CoefficientRelease, DenseRelease
+from repro.core.release import CoefficientRelease, DenseRelease, infer_sa_names
+from repro.core.sharding import ShardedRelease, ShardSlot, shard_schema
 from repro.data.attributes import NominalAttribute, OrdinalAttribute
 from repro.data.frequency import FrequencyMatrix
 from repro.data.hierarchy import Hierarchy, Node
@@ -61,6 +70,8 @@ __all__ = [
 _FORMAT_VERSION = 1
 #: Archive format for coefficient-space releases.
 _COEFFICIENT_FORMAT_VERSION = 2
+#: Archive format for sharded releases (manifest + per-shard entries).
+_SHARDED_FORMAT_VERSION = 3
 
 
 def _hierarchy_to_dict(hierarchy: Hierarchy) -> dict:
@@ -121,11 +132,19 @@ def schema_from_dict(payload: dict) -> Schema:
     return Schema(attributes)
 
 
+def _shard_array_key(index: int, representation: str) -> str:
+    """The archive member name holding shard ``index``'s payload."""
+    payload = "coefficients" if representation == "coefficients" else "values"
+    return f"shard{index}_{payload}"
+
+
 def save_result(path, result: PublishResult) -> None:
     """Write a published result to ``path`` (``.npz`` archive).
 
     Dense releases write the v1 layout; coefficient releases the v2
-    layout (coefficients + SA set, no dense matrix).
+    layout (coefficients + SA set, no dense matrix); sharded releases
+    the v3 layout (a manifest plus one array member per shard, each in
+    that shard's own representation).
     """
     header = {
         "schema": schema_to_dict(result.release.schema),
@@ -136,7 +155,40 @@ def save_result(path, result: PublishResult) -> None:
         "details": {k: _jsonable(v) for k, v in result.details.items()},
     }
     release = result.release
-    if isinstance(release, CoefficientRelease):
+    if isinstance(release, ShardedRelease):
+        header["format"] = _SHARDED_FORMAT_VERSION
+        header["representation"] = "sharded"
+        header["shard_by"] = release.attribute
+        header["shard_bounds"] = list(release.bounds)
+        entries = []
+        arrays = {}
+        for index in range(release.num_shards):
+            shard = release.shard_result(index)
+            shard_release = shard.release
+            entry = {
+                "epsilon": shard.epsilon,
+                "noise_magnitude": shard.noise_magnitude,
+                "generalized_sensitivity": shard.generalized_sensitivity,
+                "variance_bound": shard.variance_bound,
+                "sa": list(infer_sa_names(shard)),
+                "details": {k: _jsonable(v) for k, v in shard.details.items()},
+            }
+            if isinstance(shard_release, CoefficientRelease):
+                entry["representation"] = "coefficients"
+                payload = shard_release.coefficients
+            elif isinstance(shard_release, DenseRelease):
+                entry["representation"] = "dense"
+                payload = shard_release.to_matrix().values
+            else:
+                raise ReproError(
+                    f"cannot archive a shard of type "
+                    f"{type(shard_release).__name__} (nested sharding is "
+                    "not supported)"
+                )
+            arrays[_shard_array_key(index, entry["representation"])] = payload
+            entries.append(entry)
+        header["shards"] = entries
+    elif isinstance(release, CoefficientRelease):
         header["format"] = _COEFFICIENT_FORMAT_VERSION
         header["representation"] = "coefficients"
         header["sa"] = list(release.sa_names)
@@ -160,8 +212,95 @@ def _decode_header(archive) -> dict:
         raise ReproError(f"not a repro result archive: missing {exc}") from exc
 
 
+def _shard_release_from_entry(schema, entry: dict, payload) -> PublishResult:
+    """Rebuild one shard's :class:`PublishResult` from its manifest entry."""
+    if entry["representation"] == "coefficients":
+        release = CoefficientRelease(schema, tuple(entry["sa"]), payload)
+    else:
+        release = DenseRelease(FrequencyMatrix(schema, payload))
+    return PublishResult(
+        release=release,
+        epsilon=float(entry["epsilon"]),
+        noise_magnitude=float(entry["noise_magnitude"]),
+        generalized_sensitivity=float(entry["generalized_sensitivity"]),
+        variance_bound=float(entry["variance_bound"]),
+        details=entry.get("details", {}),
+    )
+
+
+def _shard_loader(path: str, key: str, schema, attribute, lo: int, hi: int, entry: dict):
+    """A zero-argument loader decompressing one shard member on demand.
+
+    The shard's restricted schema is derived on first load too, so the
+    eager manifest pass builds nothing per shard.
+    """
+
+    def load() -> PublishResult:
+        with np.load(path) as archive:
+            payload = archive[key]
+        return _shard_release_from_entry(
+            shard_schema(schema, attribute, lo, hi), entry, payload
+        )
+
+    return load
+
+
+def _sharded_release(path, archive, header: dict) -> ShardedRelease:
+    """Build the (shard-lazy when possible) release of a v3 archive."""
+    try:
+        schema = schema_from_dict(header["schema"])
+        attribute = header["shard_by"]
+        bounds = [int(b) for b in header["shard_bounds"]]
+        entries = header["shards"]
+        keys = [
+            _shard_array_key(index, entry["representation"])
+            for index, entry in enumerate(entries)
+        ]
+        missing = sorted(set(keys) - set(archive.files))
+        if missing:
+            raise ReproError(f"corrupt sharded archive: missing members {missing}")
+        if len(bounds) != len(entries) + 1:
+            raise ReproError(
+                f"corrupt sharded archive: {len(entries)} shards but "
+                f"{len(bounds)} cut points"
+            )
+        # Laziness needs a reopenable location; file-like inputs load
+        # eagerly.
+        lazy = isinstance(path, (str, os.PathLike))
+        shards = []
+        for index, (entry, key) in enumerate(zip(entries, keys)):
+            lo, hi = bounds[index], bounds[index + 1]
+            if lazy:
+                shards.append(
+                    ShardSlot(
+                        sa_names=tuple(entry["sa"]),
+                        noise_magnitude=float(entry["noise_magnitude"]),
+                        load=_shard_loader(
+                            str(path), key, schema, attribute, lo, hi, entry
+                        ),
+                        representation=entry["representation"],
+                    )
+                )
+            else:
+                shards.append(
+                    _shard_release_from_entry(
+                        shard_schema(schema, attribute, lo, hi),
+                        entry,
+                        archive[key],
+                    )
+                )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"corrupt sharded archive: {exc!r}") from exc
+    return ShardedRelease(schema, attribute, bounds, shards)
+
+
 def load_result(path) -> PublishResult:
-    """Reload a result written by :func:`save_result` (either format)."""
+    """Reload a result written by :func:`save_result` (any format).
+
+    A v3 (sharded) archive loaded from a filesystem path keeps its
+    shards lazy: only the manifest is parsed now, and each shard's
+    payload is decompressed when the first query routes to it.
+    """
     with np.load(path) as archive:
         header = _decode_header(archive)
         format_version = header.get("format", _FORMAT_VERSION)
@@ -170,21 +309,28 @@ def load_result(path) -> PublishResult:
                 payload = archive["values"]
             elif format_version == _COEFFICIENT_FORMAT_VERSION:
                 payload = archive["coefficients"]
+            elif format_version == _SHARDED_FORMAT_VERSION:
+                payload = None
             else:
                 raise ReproError(
                     f"unsupported result archive format {format_version!r}"
                 )
         except KeyError as exc:
             raise ReproError(f"not a repro result archive: missing {exc}") from exc
-    schema = schema_from_dict(header["schema"])
+        if format_version == _SHARDED_FORMAT_VERSION:
+            release = _sharded_release(path, archive, header)
     if format_version == _COEFFICIENT_FORMAT_VERSION:
         try:
             sa_names = tuple(header["sa"])
         except KeyError as exc:
             raise ReproError("coefficient archive lacks its SA set") from exc
-        release = CoefficientRelease(schema, sa_names, payload)
-    else:
-        release = DenseRelease(FrequencyMatrix(schema, payload))
+        release = CoefficientRelease(
+            schema_from_dict(header["schema"]), sa_names, payload
+        )
+    elif format_version == _FORMAT_VERSION:
+        release = DenseRelease(
+            FrequencyMatrix(schema_from_dict(header["schema"]), payload)
+        )
     return PublishResult(
         release=release,
         epsilon=float(header["epsilon"]),
@@ -204,7 +350,10 @@ class ResultHandle:
     therefore learns every release's schema, representation, and privacy
     accounting at registration time, and maps each payload only when the
     first request for that release arrives (:meth:`load` is cached and
-    thread-safe).
+    thread-safe).  For a v3 sharded archive the laziness goes one level
+    deeper: :meth:`load` parses only the shard manifest, and each
+    shard's array member is decompressed when the first query routes to
+    that shard.
 
     Parameters
     ----------

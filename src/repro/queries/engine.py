@@ -32,7 +32,12 @@ a :class:`~repro.core.release.CoefficientRelease` serves by sparse
 adjoint gathers over the noisy coefficients — same answers, no dense
 ``M*``.  Everything else in the engine (exact variances, intervals,
 marginal stds) already depended only on the mechanism configuration, so
-it is representation-independent by construction.
+it is representation-independent by construction.  A
+:class:`~repro.core.sharding.ShardedRelease` backend is the one case
+with no single mechanism configuration — each shard has its own
+transform and λ — so point answers *and* exact variances both delegate
+to the release, which clips per shard and sums (independent noise means
+the variances add).
 """
 
 from __future__ import annotations
@@ -44,7 +49,8 @@ import numpy as np
 
 from repro.analysis.exact import AxisProfileCache, query_boxes
 from repro.core.framework import PublishResult
-from repro.core.release import CoefficientRelease, infer_sa_names
+from repro.core.release import CoefficientRelease, infer_sa_names, marginal_boxes
+from repro.core.sharding import ShardedRelease
 from repro.errors import QueryError
 from repro.queries.query import RangeCountQuery
 from repro.transforms.multidim import HNTransform
@@ -124,6 +130,24 @@ class QueryEngine:
         self._result = result
         self._release = result.release
         schema = self._release.schema
+        if isinstance(self._release, ShardedRelease):
+            # A sharded release has no single transform or lambda: each
+            # shard carries its own.  Point answers and exact variances
+            # both delegate to the release, which routes, clips, and
+            # sums per shard.  The per-shard profile caches are built
+            # with this engine's factory and owned by this engine, so a
+            # server's bounded policy (and its hit/miss accounting)
+            # covers exactly this engine's traffic.
+            if sa_names is not None:
+                raise QueryError(
+                    "sharded releases carry one SA set per shard; "
+                    "the sa_names override is not supported"
+                )
+            self._transform = None
+            self._profiles = self._release.build_profile_caches(
+                profile_cache_factory
+            )
+            return
         if isinstance(self._release, CoefficientRelease):
             # A coefficient release carries its own configuration; an
             # explicit override must agree with it, otherwise the
@@ -159,7 +183,11 @@ class QueryEngine:
 
     @property
     def transform(self) -> HNTransform:
-        """The HN transform reconstructed from the result's configuration."""
+        """The HN transform reconstructed from the result's configuration.
+
+        ``None`` for a sharded backend, which has one transform per
+        shard instead (see :class:`~repro.core.sharding.ShardedRelease`).
+        """
         return self._transform
 
     @property
@@ -225,7 +253,13 @@ class QueryEngine:
         numpy.ndarray
             Per-query exact variances, aligned with ``queries``.
         """
-        lows, highs = query_boxes(queries, self._transform.input_shape)
+        lows, highs = query_boxes(queries, self.schema.shape)
+        if self._transform is None:
+            # Sharded: per-shard 2 lambda_i^2 * profile products on the
+            # clipped boxes, summed (independent noise adds).
+            return self._release.noise_variances_boxes(
+                lows, highs, caches=self._profiles
+            )
         products = self._profiles.box_profile_products(lows, highs)
         return 2.0 * self._result.noise_magnitude**2 * products
 
@@ -302,7 +336,7 @@ class QueryEngine:
         numpy.ndarray
             Per-query private counts, aligned with ``queries``.
         """
-        lows, highs = query_boxes(queries, self._transform.input_shape)
+        lows, highs = query_boxes(queries, self.schema.shape)
         return self._release.answer_boxes(lows, highs)
 
     def marginal_with_std(self, attribute_names) -> tuple[np.ndarray, np.ndarray]:
@@ -327,6 +361,17 @@ class QueryEngine:
         """
         schema = self.schema
         names = list(attribute_names)
+        if self._transform is None:
+            # Sharded: every marginal cell is a box, so both the values
+            # and the exact stds come from one grid of clipped per-shard
+            # box passes (marginal_boxes validates the names).
+            kept_sizes, lows, highs = marginal_boxes(schema, names)
+            values = self._release.answer_boxes(lows, highs).reshape(kept_sizes)
+            variances = self._release.noise_variances_boxes(
+                lows, highs, caches=self._profiles
+            )
+            return values, np.sqrt(variances).reshape(kept_sizes)
+
         keep_axes = schema.axes_of(names)
         if len(set(keep_axes)) != len(keep_axes):
             raise QueryError(f"duplicate attribute names: {names}")

@@ -10,10 +10,12 @@ collects everything that arrives within a short linger window (up to
 
 The linger is **adaptive**, the same idea as NIC interrupt coalescing:
 after a batch of one, the window halves (a lone client should not pay
-latency for coalescing that is not happening); after a near-full batch
-it doubles, up to ``max_linger_seconds`` (heavy traffic amortizes better
-with bigger batches).  Under a steady load the window settles where
-batching pays and solo traffic degrades to pass-through.
+latency for coalescing that is not happening); after any batch that
+actually coalesced (two or more items) it doubles, up to
+``max_linger_seconds`` — coalescing at all proves concurrent traffic is
+present, and a longer window only makes the batches better.  Under a
+steady load the window settles where batching pays and solo traffic
+degrades to pass-through.
 """
 
 from __future__ import annotations
@@ -124,20 +126,33 @@ class MicroBatcher:
             self._queue.put((item, future))
         return future
 
-    def close(self, *, timeout: float = 5.0) -> None:
+    def close(self, *, timeout: float = 5.0) -> bool:
         """Stop the drain thread; fail still-queued items with ``closed``.
 
         Idempotent.  Items already handed to the handler complete
         normally; the join waits at most ``timeout`` seconds.
+
+        Parameters
+        ----------
+        timeout:
+            Seconds to wait for the drain thread to exit.
+
+        Returns
+        -------
+        bool
+            True once the drain thread has exited — every accepted
+            future is resolved.  False if the join timed out (e.g. a
+            handler is still running): outstanding futures may never
+            resolve, so callers who block on them should check this.
         """
         with self._lifecycle_lock:
-            if self._closed:
-                return
-            self._closed = True
-            # Under the lock, so every accepted item precedes the
-            # shutdown marker in the FIFO and gets handled or failed.
-            self._queue.put(_SHUTDOWN)
+            if not self._closed:
+                self._closed = True
+                # Under the lock, so every accepted item precedes the
+                # shutdown marker in the FIFO and gets handled or failed.
+                self._queue.put(_SHUTDOWN)
         self._thread.join(timeout=timeout)
+        return not self._thread.is_alive()
 
     def __enter__(self) -> "MicroBatcher":
         """Context-manager entry (returns self)."""
@@ -195,9 +210,13 @@ class MicroBatcher:
                 future.set_result(result)
 
     def _adapt(self, batch_size: int) -> None:
+        # Grow on *any* coalesced batch (>= 2), not only near-full ones:
+        # a quiet period ratchets the window toward zero, and medium
+        # steady traffic (batches of 8-64) would otherwise never rebuild
+        # it — batching collapsed exactly when it paid most.
         if batch_size <= 1:
             self._linger = max(self._min_linger, self._linger / 2.0)
-        elif batch_size >= max(2, self._max_batch // 2):
+        else:
             self._linger = min(
                 self._max_linger, max(self._linger * 2.0, _MIN_GROW_SECONDS)
             )

@@ -300,10 +300,24 @@ class ReleaseServer:
             linger_seconds=self._batcher.linger_seconds,
         )
 
-    def close(self) -> None:
-        """Stop the batching thread; later submits raise ``closed``."""
+    def close(self, *, timeout: float = 5.0) -> bool:
+        """Stop the batching thread; later submits raise ``closed``.
+
+        Parameters
+        ----------
+        timeout:
+            Seconds to wait for the batching thread to drain and exit.
+
+        Returns
+        -------
+        bool
+            True once the batching thread has exited (every accepted
+            future is resolved); False if the join timed out and
+            outstanding futures may never resolve — see
+            :meth:`~repro.serving.batching.MicroBatcher.close`.
+        """
         self._closed = True
-        self._batcher.close()
+        return self._batcher.close(timeout=timeout)
 
     def __enter__(self) -> "ReleaseServer":
         """Context-manager entry (returns self)."""

@@ -104,6 +104,45 @@ class TestRepresentationParity:
             atol=1e-8,
         )
 
+    @settings(max_examples=20, deadline=None)
+    @given(case=schema_matrix_sa())
+    def test_degenerate_and_boundary_boxes_agree_exactly(self, case):
+        """ISSUE satellite: empty boxes are an exact 0.0 on every backend.
+
+        The raw ``answer_boxes`` path used to return 0.0 on the dense
+        backend but a ~1e-16 float residue on the coefficient backend
+        for ``lo == hi`` boxes; both must short-circuit to the exact
+        zero, and non-empty boundary boxes must still agree.
+        """
+        schema, matrix, sa, seed = case
+        mechanism = PriveletPlusMechanism(sa_names=sa)
+        dense = mechanism.publish_matrix(matrix, 1.0, seed=seed)
+        coeff = mechanism.publish_matrix(matrix, 1.0, seed=seed, materialize=False)
+        rng = np.random.default_rng(seed + 3)
+        shape = np.asarray(schema.shape, dtype=np.int64)
+        n = 48
+        lo_draw = rng.integers(0, shape + 1, size=(n, len(shape)))
+        hi_draw = rng.integers(0, shape + 1, size=(n, len(shape)))
+        lows = np.minimum(lo_draw, hi_draw)
+        highs = np.maximum(lo_draw, hi_draw)
+        # Force the interesting rows: degenerate at the domain edges and
+        # mid-domain, the full domain, and empty on every axis at once.
+        lows[0, 0] = highs[0, 0] = 0
+        lows[1, 0] = highs[1, 0] = int(shape[0])
+        lows[2, 0] = highs[2, 0] = int(shape[0]) // 2
+        lows[3], highs[3] = 0, shape
+        lows[4], highs[4] = shape, shape
+        dense_answers = dense.release.answer_boxes(lows, highs)
+        coeff_answers = coeff.release.answer_boxes(lows, highs)
+        empty = np.any(lows == highs, axis=1)
+        assert empty.any()
+        assert np.all(dense_answers[empty] == 0.0)
+        assert np.all(coeff_answers[empty] == 0.0)
+        scale = np.maximum(1.0, np.abs(dense_answers))
+        np.testing.assert_array_less(
+            np.abs(coeff_answers - dense_answers) / scale, 1e-8
+        )
+
     @settings(max_examples=10, deadline=None)
     @given(case=schema_matrix_sa())
     def test_uncertainty_is_representation_independent(self, case):

@@ -139,3 +139,62 @@ class TestAdaptiveLinger:
             assert batcher.linger_seconds < batcher._max_linger
         finally:
             batcher.close()
+
+    def test_window_recovers_under_sustained_medium_batches(self):
+        """Regression: a solo burst must not lock the window near zero.
+
+        The old rule only grew the window on batches >= max_batch // 2
+        (128 by default) yet halved it on every solo batch, so after a
+        quiet period steady batches of 32 — far below 128 — could never
+        rebuild it and batching collapsed exactly when it paid most.
+        """
+        batcher = MicroBatcher(lambda items: items, max_linger_seconds=0.002)
+        try:
+            # A quiet period: a long run of solo batches ratchets the
+            # window down to (effectively) zero.
+            for _ in range(50):
+                batcher._adapt(1)
+            assert batcher.linger_seconds < 1e-9
+            # Sustained medium traffic: batches of 32 (default max_batch
+            # is 256, so the old >= 128 rule never fired here).
+            for _ in range(50):
+                batcher._adapt(32)
+            assert batcher.linger_seconds == batcher._max_linger
+        finally:
+            batcher.close()
+
+    def test_any_coalesced_batch_grows_the_window(self):
+        batcher = MicroBatcher(lambda items: items, max_linger_seconds=0.002)
+        try:
+            batcher._linger = 0.0
+            batcher._adapt(2)
+            assert batcher.linger_seconds > 0.0
+        finally:
+            batcher.close()
+
+
+class TestCloseReporting:
+    def test_close_reports_clean_exit(self):
+        batcher = MicroBatcher(lambda items: items)
+        batcher.submit(1).result(timeout=5)
+        assert batcher.close() is True
+        assert batcher.close() is True  # idempotent, still reports truth
+
+    def test_close_reports_timed_out_join(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow_handler(items):
+            started.set()
+            release.wait(timeout=10)
+            return items
+
+        batcher = MicroBatcher(slow_handler, max_linger_seconds=0.0)
+        future = batcher.submit(1)
+        assert started.wait(timeout=5)
+        # The drain thread is stuck inside the handler: the join must
+        # time out and close must say so instead of silently returning.
+        assert batcher.close(timeout=0.05) is False
+        release.set()
+        assert batcher.close(timeout=5.0) is True
+        assert future.result(timeout=5) == 1

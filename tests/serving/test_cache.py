@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.exact import AxisProfileCache
 from repro.serving.cache import LRUProfileCache
@@ -67,3 +69,49 @@ class TestLRUProfileCache:
     def test_rejects_nonpositive_bound(self, transforms):
         with pytest.raises(ValueError):
             LRUProfileCache(transforms, max_entries_per_axis=0)
+
+
+#: One batch = the (lo, hi) pairs one `profiles` call asks for.
+_range_pair = st.tuples(st.integers(0, 16), st.integers(0, 16)).map(sorted)
+_batches = st.lists(
+    st.lists(_range_pair, min_size=1, max_size=12), min_size=1, max_size=12
+)
+
+
+class TestEvictionProperties:
+    """ISSUE satellite: eviction correctness under churn, property-tested."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(batches=_batches)
+    def test_churn_past_the_bound_stays_correct(self, batches):
+        transforms = [HaarTransform(16)]
+        bounded = LRUProfileCache(transforms, max_entries_per_axis=4)
+        reference = AxisProfileCache(transforms)
+        # A deterministic sweep first, so every run churns past the
+        # 4-entry bound no matter what hypothesis generated.
+        batches = [[(0, hi) for hi in range(1, 17)]] + batches
+        evictions_before = 0
+        lookups = 0
+        for batch in batches:
+            lows = np.asarray([lo for lo, _ in batch])
+            highs = np.asarray([hi for _, hi in batch])
+            values = bounded.profiles(0, lows, highs)
+            # Evicted entries recompute to identical values on re-miss:
+            # every answer matches an unbounded cache, whatever was
+            # dropped in between.
+            np.testing.assert_allclose(
+                values, reference.profiles(0, lows, highs), rtol=1e-12
+            )
+            # The eviction counter is monotone and the bound holds.
+            assert bounded.evictions >= evictions_before
+            evictions_before = bounded.evictions
+            assert len(bounded) <= 4
+            # Counters reconcile with batch fills: each call accounts
+            # exactly its distinct ranges, split between hits and misses.
+            lookups += len(set(map(tuple, batch)))
+            assert bounded.hits + bounded.misses == lookups
+        assert bounded.evictions > 0
+        # Misses can only exceed the unbounded cache's (re-miss after
+        # eviction), never the other way around.
+        assert bounded.misses >= reference.misses
+        assert bounded.evictions == bounded.misses - len(bounded)

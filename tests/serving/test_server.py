@@ -197,3 +197,75 @@ class TestArchivesAndStats:
             for lo in range(0, 60):
                 server.query(QueryRequest("ordinal", {"value": (lo, 64)}))
             assert server.stats().profile_cache_evictions > 0
+
+
+class TestShardedArchives:
+    def test_sharded_archive_serves_as_one_release(self, tmp_path):
+        from repro.core.sharding import publish_sharded
+
+        table = generate_census_table(BRAZIL.scaled(0.05), 2_000, seed=4)
+        result = publish_sharded(
+            table,
+            PriveletPlusMechanism(sa_names="auto"),
+            1.0,
+            shard_by="Age",
+            shards=3,
+            seed=6,
+            materialize=False,
+        )
+        path = tmp_path / "sharded.npz"
+        save_result(path, result)
+        with ReleaseServer(max_linger_seconds=0.001) as server:
+            server.register_archive(path, name="census")
+            description = server.describe("census")
+            assert description["representation"] == "sharded"
+            direct = QueryEngine(result)
+            requests = [
+                QueryRequest("census", {"Age": (lo, lo + 15)}, request_id=lo)
+                for lo in range(0, 60, 5)
+            ]
+            responses = server.query_many(requests)
+            for request, response in zip(requests, responses):
+                expected = direct.answer_with_interval(
+                    request.to_query(direct.schema)
+                )
+                assert response.estimate == pytest.approx(expected.estimate)
+                assert response.noise_std == pytest.approx(expected.noise_std)
+            stats = server.stats()
+            assert stats.engines_built == 1
+            assert stats.profile_cache_misses > 0
+            # Narrow requests only touched the shards they intersect.
+            engine = server.engine("census")
+            assert engine.release.shards_loaded >= 1
+
+
+class TestCloseReporting:
+    def test_close_returns_true_after_clean_drain(self, census_result):
+        server = ReleaseServer()
+        server.register("census", census_result)
+        server.query(QueryRequest("census"))
+        assert server.close() is True
+
+    def test_close_surfaces_timed_out_drain(self, census_result, monkeypatch):
+        import threading
+
+        release = threading.Event()
+        started = threading.Event()
+        server = ReleaseServer(max_linger_seconds=0.0)
+        server.register("census", census_result)
+        inner = server._handle_batch
+
+        def slow_handler(payloads):
+            started.set()
+            release.wait(timeout=10)
+            return inner(payloads)
+
+        monkeypatch.setattr(server._batcher, "_handler", slow_handler)
+        future = server.submit(QueryRequest("census"))
+        assert started.wait(timeout=5)
+        # The drain thread is wedged inside the handler: the server must
+        # report the timed-out join instead of silently returning.
+        assert server.close(timeout=0.05) is False
+        release.set()
+        assert server.close(timeout=5.0) is True
+        assert future.result(timeout=5).release == "census"

@@ -258,6 +258,52 @@ class TestCommands:
         assert err.startswith("error:")
         assert "conflicts" in err
 
+    def test_publish_sharded_round_trip(self, tmp_path, capsys):
+        output = tmp_path / "sharded.npz"
+        code = main(
+            [
+                "publish",
+                str(output),
+                "--scale",
+                "0.05",
+                "--rows",
+                "2000",
+                "--shard-by",
+                "Age",
+                "--shards",
+                "3",
+                "--representation",
+                "coefficients",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "representation=sharded" in out
+        assert "3 shards by 'Age'" in out
+        result = load_result(output)
+        assert result.representation == "sharded"
+        assert result.release.num_shards == 3
+        assert result.details["shard_by"] == "Age"
+        # The archive serves through the unchanged query command.
+        assert main(["query", str(output), "--queries", "4"]) == 0
+        assert "sharded backend" in capsys.readouterr().out
+
+    def test_publish_sharded_rejects_nominal_attribute(self, tmp_path, capsys):
+        code = main(
+            [
+                "publish",
+                str(tmp_path / "bad.npz"),
+                "--scale",
+                "0.05",
+                "--rows",
+                "500",
+                "--shard-by",
+                "Occupation",
+            ]
+        )
+        assert code == 2
+        assert "ordinal" in capsys.readouterr().err
+
     def test_publish_basic(self, tmp_path):
         output = tmp_path / "basic.npz"
         assert (

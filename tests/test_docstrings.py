@@ -22,6 +22,7 @@ import repro
 #: Modules whose public docstrings must mention every parameter.
 AUDITED_MODULES = [
     "repro.core.release",
+    "repro.core.sharding",
     "repro.queries.engine",
     "repro.analysis.exact",
     "repro.serving.batching",

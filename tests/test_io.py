@@ -186,3 +186,126 @@ class TestResultHandle:
         assert "lazy" in repr(handle)
         handle.load()
         assert "loaded" in repr(handle)
+
+
+class TestShardedArchives:
+    """v3 archives: manifest + per-shard entries, shard-lazy loading."""
+
+    @pytest.fixture
+    def sharded_result(self, mixed_table):
+        from repro.core.sharding import publish_sharded
+
+        return publish_sharded(
+            mixed_table,
+            PriveletPlusMechanism(sa_names="auto"),
+            1.0,
+            shard_by="X",
+            shards=3,
+            seed=5,
+            materialize=False,
+        )
+
+    def test_round_trip_preserves_answers(self, sharded_result, tmp_path):
+        from repro.queries.engine import QueryEngine
+        from repro.queries.workload import generate_workload
+
+        path = tmp_path / "sharded.npz"
+        save_result(path, sharded_result)
+        loaded = load_result(path)
+        assert loaded.representation == "sharded"
+        assert loaded.release.bounds == sharded_result.release.bounds
+        assert loaded.details == sharded_result.details
+        queries = generate_workload(sharded_result.release.schema, 30, seed=1)
+        np.testing.assert_allclose(
+            QueryEngine(loaded).answer_all(queries),
+            QueryEngine(sharded_result).answer_all(queries),
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            QueryEngine(loaded).noise_variances(queries),
+            QueryEngine(sharded_result).noise_variances(queries),
+            rtol=1e-12,
+        )
+
+    def test_loading_is_shard_lazy(self, sharded_result, tmp_path):
+        path = tmp_path / "sharded.npz"
+        save_result(path, sharded_result)
+        loaded = load_result(path)
+        release = loaded.release
+        assert release.shards_loaded == 0
+        # Exact variances never need a payload.
+        lows = np.zeros((1, 3), dtype=np.int64)
+        highs = np.asarray([list(release.schema.shape)], dtype=np.int64)
+        assert release.noise_variances_boxes(lows, highs)[0] > 0
+        assert release.shards_loaded == 0
+        # A query clipped to the first shard loads only that shard.
+        narrow_highs = highs.copy()
+        narrow_highs[0, 0] = release.bounds[1]
+        release.answer_boxes(lows, narrow_highs)
+        assert release.shards_loaded == 1
+        release.answer_boxes(lows, highs)
+        assert release.shards_loaded == release.num_shards
+
+    def test_open_result_reads_manifest_only(self, sharded_result, tmp_path):
+        path = tmp_path / "sharded.npz"
+        save_result(path, sharded_result)
+        handle = open_result(path)
+        assert handle.representation == "sharded"
+        assert handle.epsilon == 1.0
+        assert handle.schema().shape == sharded_result.release.schema.shape
+        assert not handle.loaded
+        assert handle.load().release.shards_loaded == 0
+
+    def test_mixed_representation_shards_round_trip(self, mixed_table, tmp_path):
+        from repro.core.release import convert_result
+        from repro.core.sharding import ShardedRelease, publish_sharded
+        from repro.queries.engine import QueryEngine
+        from repro.queries.workload import generate_workload
+
+        result = publish_sharded(
+            mixed_table,
+            PriveletPlusMechanism(sa_names="auto"),
+            1.0,
+            shard_by="X",
+            shards=2,
+            seed=9,
+            materialize=False,
+        )
+        release = result.release
+        mixed = ShardedRelease(
+            release.schema,
+            release.attribute,
+            release.bounds,
+            [
+                convert_result(release.shard_result(0), "dense"),
+                release.shard_result(1),
+            ],
+        )
+        import dataclasses
+
+        mixed_result = dataclasses.replace(result, release=mixed)
+        path = tmp_path / "mixed.npz"
+        save_result(path, mixed_result)
+        loaded = load_result(path)
+        assert loaded.release.shard_result(0).representation == "dense"
+        assert loaded.release.shard_result(1).representation == "coefficients"
+        queries = generate_workload(release.schema, 20, seed=2)
+        np.testing.assert_allclose(
+            QueryEngine(loaded).answer_all(queries),
+            QueryEngine(result).answer_all(queries),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    def test_missing_shard_member_rejected(self, sharded_result, tmp_path):
+        import zipfile
+
+        path = tmp_path / "sharded.npz"
+        save_result(path, sharded_result)
+        clipped = tmp_path / "clipped.npz"
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(clipped, "w") as dst:
+            for name in src.namelist():
+                if name != "shard1_coefficients.npy":
+                    dst.writestr(name, src.read(name))
+        with pytest.raises(ReproError, match="missing members"):
+            load_result(clipped)
