@@ -30,6 +30,18 @@ from repro.experiments.figures import prepare_census_experiment
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
+def bench_smoke(*aliases: str) -> bool:
+    """True when a CI-sized (no timing gates) benchmark run is requested.
+
+    One switch rules them all: ``BENCH_SMOKE=1``.  Benchmarks that
+    historically had their own variable pass it as an alias
+    (``RELEASE_BENCH_SMOKE``, ``SERVING_BENCH_SMOKE``,
+    ``SHARDING_BENCH_SMOKE``), so existing invocations keep working.
+    """
+    names = ("BENCH_SMOKE",) + aliases
+    return any(os.environ.get(name, "") not in {"", "0"} for name in names)
+
+
 def bench_accuracy_config() -> AccuracyConfig:
     if full_scale_requested():
         return AccuracyConfig(scale=1.0, num_rows=10_000_000, num_queries=40_000)

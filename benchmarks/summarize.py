@@ -1,0 +1,148 @@
+"""Merge ``results/BENCH_*.json`` files into one markdown summary table.
+
+CI runs every benchmark in smoke mode and each one drops a JSON payload
+under ``results/``; this script condenses them into the table GitHub
+renders on the workflow run page (``$GITHUB_STEP_SUMMARY``), so the
+headline numbers — speedups and sustained queries/sec, with the commit
+they came from — are readable without downloading artifacts.
+
+Headline selection is convention-driven, not per-benchmark code: every
+numeric leaf whose dotted path mentions ``speedup``, ``qps``, or
+``_per_s`` is a headline candidate, speedups first.  A benchmark opts
+into the summary simply by writing those keys (which all of them
+already do).
+
+Usage::
+
+    python benchmarks/summarize.py [results_dir]
+
+Writes to ``$GITHUB_STEP_SUMMARY`` when set, stdout otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+__all__ = ["headline_metrics", "summarize", "main"]
+
+#: Dotted-path substrings that make a numeric leaf a headline metric,
+#: in preference order.
+_HEADLINE_MARKERS = ("speedup", "qps", "_per_s")
+#: Most headline metrics shown per benchmark.
+_MAX_HEADLINES = 3
+
+
+def _numeric_leaves(payload, prefix: str = ""):
+    """Yield ``(dotted_path, value)`` for every numeric scalar leaf."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _numeric_leaves(value, path)
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        yield prefix, float(payload)
+
+
+def _format_value(path: str, value: float) -> str:
+    if "speedup" in path:
+        return f"{value:.2f}x"
+    if value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def headline_metrics(payload: dict) -> list[tuple[str, float]]:
+    """The headline ``(dotted_path, value)`` pairs of one BENCH payload.
+
+    Parameters
+    ----------
+    payload:
+        A decoded ``results/BENCH_*.json`` object.  Provenance keys are
+        ignored; among the rest, leaves matching the headline markers
+        are returned speedups-first, at most :data:`_MAX_HEADLINES`.
+    """
+    body = {k: v for k, v in payload.items() if k != "provenance"}
+    candidates = []
+    for path, value in _numeric_leaves(body):
+        leaf = path.rsplit(".", 1)[-1]
+        for rank, marker in enumerate(_HEADLINE_MARKERS):
+            if marker in leaf:
+                candidates.append((rank, path, value))
+                break
+    candidates.sort(key=lambda item: (item[0], item[1]))
+    return [(path, value) for _, path, value in candidates[:_MAX_HEADLINES]]
+
+
+def summarize(paths) -> str:
+    """A GitHub-flavoured markdown table over BENCH json files.
+
+    Parameters
+    ----------
+    paths:
+        Iterable of ``BENCH_*.json`` paths; unreadable files become a
+        table row flagging the problem instead of crashing the summary
+        step.
+
+    Returns
+    -------
+    str
+        Markdown: one header plus one row per benchmark.
+    """
+    rows = []
+    for path in sorted(pathlib.Path(p) for p in paths):
+        name = path.stem.removeprefix("BENCH_")
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            rows.append((name, f"unreadable: {exc}", "?", "?"))
+            continue
+        metrics = headline_metrics(payload)
+        headline = (
+            "<br>".join(
+                f"`{path_}` = {_format_value(path_, value)}"
+                for path_, value in metrics
+            )
+            or "(no headline metrics)"
+        )
+        provenance = payload.get("provenance", {})
+        commit = str(provenance.get("commit", "?"))
+        mode = "smoke" if payload.get("smoke") else "full"
+        rows.append((name, headline, mode, commit))
+    lines = [
+        "## Benchmark summary",
+        "",
+        "| benchmark | headline | mode | commit |",
+        "|---|---|---|---|",
+    ]
+    if not rows:
+        lines.append("| _none found_ | | | |")
+    for name, headline, mode, commit in rows:
+        lines.append(f"| {name} | {headline} | {mode} | {commit} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    """CLI entry point: glob, summarize, write to the step summary.
+
+    Parameters
+    ----------
+    argv:
+        Optional ``[results_dir]``; defaults to the repo's ``results/``.
+    """
+    argv = sys.argv[1:] if argv is None else list(argv)
+    results_dir = pathlib.Path(
+        argv[0] if argv else pathlib.Path(__file__).resolve().parent.parent / "results"
+    )
+    table = summarize(results_dir.glob("BENCH_*.json"))
+    target = os.environ.get("GITHUB_STEP_SUMMARY")
+    if target:
+        with open(target, "a", encoding="utf-8") as stream:
+            stream.write(table)
+    print(table, end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

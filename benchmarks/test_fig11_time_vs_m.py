@@ -5,7 +5,6 @@ constant factor more.  Paper scale (n = 5e6, m up to 2^26) behind
 REPRO_FULL=1.
 """
 
-import numpy as np
 
 from repro.experiments.figures import run_time_vs_m
 from repro.experiments.reporting import format_timing_run

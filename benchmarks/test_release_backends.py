@@ -14,7 +14,8 @@ coefficients — no inverse transform at publish time, no ``O(m)`` prefix
   batch in coefficient space;
 * the serving-state memory of both backends.
 
-Set ``RELEASE_BENCH_SMOKE=1`` for a CI-sized run (smaller domains, no
+Set ``BENCH_SMOKE=1`` (or the legacy alias ``RELEASE_BENCH_SMOKE=1``)
+for a CI-sized run (smaller domains, no
 timing assertions — timers on shared runners are too noisy to gate on).
 In full mode the timing gates are re-measured up to three times before
 failing, so a single scheduler hiccup cannot redden tier-1.  Either way
@@ -25,7 +26,6 @@ trajectory accumulates run over run.
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 import time
 
@@ -45,7 +45,9 @@ ATTEMPTS = 3
 
 
 def _smoke() -> bool:
-    return os.environ.get("RELEASE_BENCH_SMOKE", "") not in {"", "0"}
+    from benchmarks.conftest import bench_smoke
+
+    return bench_smoke("RELEASE_BENCH_SMOKE")
 
 
 def _exponents() -> list[int]:

@@ -19,7 +19,8 @@ archives*:
   parallel threads and every answer is checked against a direct
   single-release engine.
 
-Set ``SERVING_BENCH_SMOKE=1`` for a CI-sized run (tiny tables, no
+Set ``BENCH_SMOKE=1`` (or the legacy alias ``SERVING_BENCH_SMOKE=1``)
+for a CI-sized run (tiny tables, no
 timing assertions — shared-runner clocks are too noisy to gate on).  In
 full mode the speedup gate is re-measured up to three times before
 failing.  Either way the numbers land in ``results/BENCH_serving.json``
@@ -31,7 +32,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import os
 import pathlib
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -55,7 +55,9 @@ ATTEMPTS = 3
 
 
 def _smoke() -> bool:
-    return os.environ.get("SERVING_BENCH_SMOKE", "") not in {"", "0"}
+    from benchmarks.conftest import bench_smoke
+
+    return bench_smoke("SERVING_BENCH_SMOKE")
 
 
 def _scale_rows_queries() -> tuple[float, int, int]:

@@ -16,7 +16,8 @@ Sharding's two promises, measured:
   sustained queries/sec for both, plus how a *routed* workload (every
   box inside one shard) compares.
 
-Set ``SHARDING_BENCH_SMOKE=1`` for a CI-sized run (small table, no
+Set ``BENCH_SMOKE=1`` (or the legacy alias ``SHARDING_BENCH_SMOKE=1``)
+for a CI-sized run (small table, no
 timing assertions).  Either way the numbers land in
 ``results/BENCH_sharding.json`` with a provenance block.
 """
@@ -45,7 +46,9 @@ ATTEMPTS = 3
 
 
 def _smoke() -> bool:
-    return os.environ.get("SHARDING_BENCH_SMOKE", "") not in {"", "0"}
+    from benchmarks.conftest import bench_smoke
+
+    return bench_smoke("SHARDING_BENCH_SMOKE")
 
 
 def _scale_rows_queries() -> tuple[float, int, int]:

@@ -92,6 +92,7 @@ from repro.errors import (
     ReproError,
     SchemaError,
     ServingError,
+    StreamingError,
     TransformError,
 )
 from repro.queries import (
@@ -116,6 +117,7 @@ from repro.serving import (
     ReleaseServer,
     ServerStats,
 )
+from repro.streaming import StreamingPublisher, StreamRelease, dyadic_cover
 from repro.transforms import HaarTransform, HNTransform, NominalTransform
 
 __version__ = "1.0.0"
@@ -130,6 +132,7 @@ __all__ = [
     "QueryError",
     "PrivacyError",
     "ServingError",
+    "StreamingError",
     # data
     "OrdinalAttribute",
     "NominalAttribute",
@@ -210,6 +213,10 @@ __all__ = [
     "workload_average_variance",
     "CompiledWorkload",
     "optimize_sa",
+    # streaming
+    "StreamingPublisher",
+    "StreamRelease",
+    "dyadic_cover",
     # serving
     "ReleaseServer",
     "ReleaseRegistry",

@@ -16,10 +16,24 @@ Commands
     shard independently at full ε (DP parallel composition) on a thread
     pool, and writes a v3 sharded archive — ``query`` and ``serve``
     consume it unchanged.
+``ingest``
+    Stage synthetic census rows for a **stream** archive's open epoch
+    (creating the v4 archive, with its publishing configuration, on
+    first use).  Staged rows live in a ``<archive>.staging.npz`` sidecar
+    — they are the curator's raw private input and are only published
+    when the epoch closes.
+``advance-epoch``
+    Close one or more epochs of a stream archive: the staged rows
+    publish at the full ε (DP parallel composition over disjoint
+    epochs), completed dyadic tree nodes merge, and the archive gains
+    the new node members plus a fresh manifest — a running ``serve``
+    over the same file picks the new epochs up automatically.
 ``query``
     Answer random range-count queries on a published archive through the
     batch query engine, printing each estimate with its exact noise std
-    and confidence interval.
+    and confidence interval.  ``--time-range LO HI`` restricts a stream
+    archive to an epoch window (answered from its ``O(log T)`` dyadic
+    cover).
 ``serve``
     Stand up a :class:`~repro.serving.server.ReleaseServer` over one or
     more archives and drive it through a port-less JSONL loop: one JSON
@@ -34,8 +48,12 @@ import argparse
 import dataclasses
 import json
 import os
+import queue
 import sys
+import threading
 from collections import deque
+
+import numpy as np
 
 from repro.core.accountant import PrivacyAccount
 from repro.core.basic import BasicMechanism
@@ -51,13 +69,15 @@ from repro.experiments.figures import (
     run_time_vs_m,
     run_time_vs_n,
 )
+from repro.data.table import Table
 from repro.errors import ReproError
 from repro.experiments.reporting import format_accuracy_run, format_timing_run
-from repro.io import load_result, save_result
+from repro.io import load_result, read_stream_header, save_result
 from repro.queries.engine import QueryEngine
 from repro.queries.workload import generate_workload
 from repro.serving.requests import ErrorResponse, QueryRequest
 from repro.serving.server import ReleaseServer
+from repro.streaming import StreamingPublisher
 
 __all__ = ["main", "build_parser"]
 
@@ -125,6 +145,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of balanced shards when --shard-by is given",
     )
 
+    ingest = commands.add_parser(
+        "ingest",
+        help="stage synthetic rows for a stream archive's open epoch",
+    )
+    ingest.add_argument("archive", help="v4 stream .npz path (created if missing)")
+    ingest.add_argument("--dataset", choices=sorted(_SPECS), default="brazil")
+    ingest.add_argument("--scale", type=float, default=0.1)
+    ingest.add_argument("--rows", type=int, default=10_000)
+    ingest.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="per-epoch privacy budget (default 1.0; fixed at archive "
+        "creation — passing a different value later is an error)",
+    )
+    ingest.add_argument(
+        "--mechanism",
+        choices=["basic", "privelet", "privelet+"],
+        default=None,
+        help="publishing mechanism (default privelet+; fixed at archive "
+        "creation — passing a different one later is an error)",
+    )
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--epoch-length",
+        type=int,
+        default=None,
+        help="timestamp units per epoch (default 1; fixed at archive "
+        "creation — passing a different value later is an error)",
+    )
+
+    advance = commands.add_parser(
+        "advance-epoch",
+        help="close epoch(s) of a stream archive, publishing staged rows",
+    )
+    advance.add_argument("archive", help="v4 stream .npz written by `ingest`")
+    advance.add_argument(
+        "--epochs",
+        type=int,
+        default=1,
+        help="how many epochs to close (beyond the first, noise-only empties)",
+    )
+
     query = commands.add_parser(
         "query", help="answer queries on a published archive with intervals"
     )
@@ -144,6 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="archive",
         help="serving backend: 'archive' keeps the stored representation, "
         "the others convert before answering",
+    )
+    query.add_argument(
+        "--time-range",
+        type=int,
+        nargs=2,
+        default=None,
+        metavar=("LO", "HI"),
+        help="epoch window [LO, HI) for stream archives (answered from "
+        "the window's O(log T) dyadic node cover)",
     )
 
     serve = commands.add_parser(
@@ -249,11 +321,7 @@ def _cmd_figure(args) -> int:
 def _cmd_publish(args) -> int:
     spec = _SPECS[args.dataset].scaled(args.scale)
     table = generate_census_table(spec, args.rows, seed=args.seed)
-    mechanism = {
-        "basic": BasicMechanism(),
-        "privelet": PriveletMechanism(),
-        "privelet+": PriveletPlusMechanism(sa_names="auto"),
-    }[args.mechanism]
+    mechanism = _mechanism_for(args.mechanism)
     if args.shard_by is not None:
         result = publish_sharded(
             table,
@@ -287,9 +355,148 @@ def _cmd_publish(args) -> int:
     return 0
 
 
+def _staging_path(archive: str) -> str:
+    """The sidecar file holding rows staged for the open epoch."""
+    return archive + ".staging.npz"
+
+
+def _mechanism_for(name: str):
+    return {
+        "basic": BasicMechanism(),
+        "privelet": PriveletMechanism(),
+        "privelet+": PriveletPlusMechanism(sa_names="auto"),
+    }[name]
+
+
+def _check_ingest_flags_against_header(args, header: dict, schema) -> None:
+    """Reject flags that conflict with an existing archive's recorded config.
+
+    ε, the mechanism, and the epoch length are fixed when the archive is
+    created; silently ignoring a different value later — especially a
+    different ε — would let the curator believe they changed the privacy
+    budget when they did not.  The dataset/scale must reproduce the
+    recorded schema, or the staged rows could not publish at all.
+    """
+    if args.epsilon is not None and float(args.epsilon) != float(header["epsilon"]):
+        raise ReproError(
+            f"--epsilon {args.epsilon} conflicts with the archive's "
+            f"epsilon={header['epsilon']} (fixed at creation)"
+        )
+    if (
+        args.mechanism is not None
+        and _mechanism_for(args.mechanism).name != header.get("mechanism_name")
+    ):
+        raise ReproError(
+            f"--mechanism {args.mechanism} conflicts with the archive's "
+            f"mechanism {header.get('mechanism_name')!r} (fixed at creation)"
+        )
+    if args.epoch_length is not None and int(args.epoch_length) != int(
+        header.get("epoch_length", 1)
+    ):
+        raise ReproError(
+            f"--epoch-length {args.epoch_length} conflicts with the "
+            f"archive's epoch length {header.get('epoch_length', 1)} "
+            "(fixed at creation)"
+        )
+    from repro.io import schema_from_dict
+
+    archived = schema_from_dict(header["schema"])
+    if archived.names != schema.names or archived.shape != schema.shape:
+        raise ReproError(
+            f"--dataset/--scale produce schema {schema!r} but the archive "
+            f"records {archived!r}; rows staged under a different schema "
+            "could not publish"
+        )
+
+
+def _cmd_ingest(args) -> int:
+    if args.epoch_length is not None and args.epoch_length < 1:
+        raise ReproError(
+            f"--epoch-length must be at least 1, got {args.epoch_length}"
+        )
+    spec = _SPECS[args.dataset].scaled(args.scale)
+    schema = census_schema(spec)
+    if not os.path.exists(args.archive):
+        StreamingPublisher(
+            schema,
+            _mechanism_for(args.mechanism or "privelet+"),
+            1.0 if args.epsilon is None else args.epsilon,
+            epoch_length=1 if args.epoch_length is None else args.epoch_length,
+            seed=args.seed,
+            archive_path=args.archive,
+        )
+        print(f"created stream archive {args.archive}")
+    else:
+        # Fail fast on non-stream archives and on flags conflicting with
+        # the configuration fixed at creation.
+        header = read_stream_header(args.archive)
+        _check_ingest_flags_against_header(args, header, schema)
+    table = generate_census_table(spec, args.rows, seed=args.seed + 1)
+    staging = _staging_path(args.archive)
+    rows = table.rows
+    if os.path.exists(staging):
+        with np.load(staging) as staged:
+            rows = np.concatenate([staged["rows"], rows], axis=0)
+    # Write-temp-then-replace: the sidecar is the only copy of the
+    # staged (unpublished) rows, so a crash mid-write must leave the
+    # previous staging intact rather than a truncated file.  The
+    # scratch name keeps the .npz suffix (savez would append one).
+    scratch = args.archive + ".staging.tmp.npz"
+    np.savez_compressed(scratch, rows=rows)
+    os.replace(scratch, staging)
+    print(
+        f"staged {table.num_rows} rows ({rows.shape[0]} pending) for the "
+        f"open epoch of {args.archive}"
+    )
+    return 0
+
+
+def _cmd_advance_epoch(args) -> int:
+    # Validate everything before touching the staging sidecar: it is
+    # the curator's only copy of the pending rows, so it must survive
+    # any failure that happens before those rows are published.
+    if args.epochs < 1:
+        raise ReproError(f"--epochs must be at least 1, got {args.epochs}")
+    publisher = StreamingPublisher.open(args.archive)
+    staging = _staging_path(args.archive)
+    staged = os.path.exists(staging)
+    if staged:
+        with np.load(staging) as stash:
+            rows = stash["rows"]
+        publisher.ingest(Table(publisher.schema, rows))
+    for index in range(args.epochs):
+        epoch = publisher.current_epoch
+        pending = publisher.pending_rows
+        leaf = publisher.advance_epoch()
+        if index == 0 and staged:
+            # The staged rows are now published (and appended to the
+            # archive); only then is dropping the sidecar safe.
+            os.remove(staging)
+        print(
+            f"closed epoch {epoch}: published {pending} rows at "
+            f"epsilon={leaf.epsilon} (lambda={leaf.noise_magnitude:.2f}, "
+            f"{leaf.representation})"
+        )
+    release = publisher.release()
+    print(
+        f"stream now has {publisher.closed_epochs} epochs, "
+        f"{release.num_nodes} tree nodes; wrote {args.archive}"
+    )
+    return 0
+
+
 def _cmd_query(args) -> int:
     result = load_result(args.archive)
     sa_names = tuple(args.sa) if args.sa is not None else None
+    if args.time_range is not None:
+        window = getattr(result.release, "window", None)
+        if window is None:
+            raise ReproError(
+                f"{args.archive} is not a stream archive; --time-range "
+                "needs one (see the `ingest` command)"
+            )
+        lo, hi = args.time_range
+        result = dataclasses.replace(result, release=window(lo, hi))
     if args.representation != "archive":
         result = convert_result(result, args.representation, sa_names=sa_names)
     engine = QueryEngine(result, sa_names=sa_names)
@@ -337,13 +544,39 @@ def _serve_loop(server: ReleaseServer, lines, stream) -> int:
     """Drive the JSONL request/response loop until stdin closes.
 
     Every line produces exactly one response line, in request order.
-    Query responses may lag behind their requests by up to the batching
-    window; ``stats``/``list`` operations flush the pending queue first
-    so their answers observe every earlier request.
+    Input is consumed through a background reader thread so the loop
+    never blocks in ``readline`` while holding finished futures: with
+    responses outstanding it polls briefly and, once input goes idle,
+    drains the pending queue — a strict request/response client (which
+    sends nothing until it reads its answer) therefore always gets one.
+    With nothing pending it blocks on input without polling.  Pipelined
+    clients may still see responses lag their requests by up to the
+    batching window; ``stats``/``list`` operations flush the pending
+    queue first so their answers observe every earlier request.
     """
+    feed: queue.Queue = queue.Queue()
+    done = object()
+
+    def read() -> None:
+        for fed_line in lines:
+            feed.put(fed_line)
+        feed.put(done)
+
+    threading.Thread(target=read, daemon=True, name="repro-serve-stdin").start()
     pending: deque = deque()
     served = 0
-    for line in lines:
+    while True:
+        try:
+            # Poll only while responses are outstanding; otherwise park.
+            line = feed.get(timeout=0.01) if pending else feed.get()
+        except queue.Empty:
+            # Input idle with responses pending: resolve whatever the
+            # batcher has finished (and block for the rest — the window
+            # is milliseconds).
+            _flush_pending(pending, stream)
+            continue
+        if line is done:
+            break
         line = line.strip()
         if not line:
             continue
@@ -447,6 +680,8 @@ def main(argv=None) -> int:
         "account": _cmd_account,
         "figure": _cmd_figure,
         "publish": _cmd_publish,
+        "ingest": _cmd_ingest,
+        "advance-epoch": _cmd_advance_epoch,
         "query": _cmd_query,
         "serve": _cmd_serve,
     }

@@ -467,8 +467,9 @@ def convert_result(result, representation: str, *, sa_names=None):
     representation.  ``sa_names`` overrides the inferred SA set for
     results whose metadata does not record one (mirroring
     :class:`~repro.queries.engine.QueryEngine`'s escape hatch).  A
-    sharded release converts shard by shard (each shard carries its own
-    SA set, so ``sa_names`` is ignored) and stays sharded.
+    composed release (sharded or stream) converts part by part through
+    its own ``convert`` hook (each part carries its own SA set, so
+    ``sa_names`` is ignored) and keeps its routing structure.
     """
     if representation not in REPRESENTATIONS:
         raise QueryError(
@@ -478,11 +479,9 @@ def convert_result(result, representation: str, *, sa_names=None):
     release = result.release
     if release.representation == representation:
         return result
-    # Imported here: repro.core.sharding imports this module.
-    from repro.core.sharding import ShardedRelease
-
-    if isinstance(release, ShardedRelease):
-        converted = release.convert(representation)
+    converter = getattr(release, "convert", None)
+    if converter is not None:
+        converted = converter(representation)
         if converted is release:
             return result
         return dataclasses.replace(result, release=converted)

@@ -48,7 +48,7 @@ from repro.data.attributes import OrdinalAttribute
 from repro.data.frequency import FrequencyMatrix
 from repro.data.schema import Schema
 from repro.data.table import Table
-from repro.errors import QueryError, SchemaError
+from repro.errors import SchemaError
 from repro.transforms.multidim import HNTransform
 from repro.utils.validation import ensure_positive_int
 

@@ -38,6 +38,16 @@ class PrivacyError(ReproError):
     """A privacy parameter (epsilon, lambda, sensitivity) is invalid."""
 
 
+class StreamingError(ReproError):
+    """A streaming-ingestion operation is invalid.
+
+    Raised by :mod:`repro.streaming` for malformed epoch windows, rows
+    whose timestamps land in an epoch that has already been published
+    (late arrivals cannot be added to a released epoch), and stream
+    archives whose manifest is inconsistent with their node members.
+    """
+
+
 class ServingError(ReproError):
     """A serving-layer request cannot be satisfied.
 

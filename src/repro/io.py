@@ -22,11 +22,22 @@ in one of two **formats**:
   **shard-lazy**: the manifest alone rebuilds the routing and exact
   variance machinery, and each shard's payload is decompressed only
   when the first query routes to it.
+* **v4** (``format: 4``): a **stream** — an *append-able* archive.  The
+  static header records the publishing configuration (schema, ε, epoch
+  length, mechanism spec); each epoch close appends one array member
+  per newly completed tree node (``node_<level>_<index>``) plus a fresh
+  **versioned manifest** (``stream_manifest_<T>``, the full node list
+  at ``T`` closed epochs).  Appends never rewrite existing members, so
+  earlier windows keep answering identically, readers always parse the
+  newest manifest, and a serving process re-resolves a live stream by
+  re-opening the file (:attr:`ResultHandle.stale` flags the change).
+  Loading is node-lazy exactly like v3 is shard-lazy.
 
 The format is chosen by the result's representation: dense releases save
 as v1 (so older readers keep working), coefficient releases as v2,
-sharded releases as v3.  All load back to a :class:`PublishResult` that
-answers any workload identically to the saved one.
+sharded releases as v3, streams as v4.  All load back to a
+:class:`PublishResult` that answers any workload identically to the
+saved one.
 
 Hierarchies are serialized by their parent arrays + labels, which is
 enough to rebuild an identical :class:`~repro.data.hierarchy.Hierarchy`
@@ -42,10 +53,14 @@ payload only when its first request arrives.
 
 from __future__ import annotations
 
+import io as _io
 import json
 import os
+import shutil
+import tempfile
 import threading
 import zipfile
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -57,6 +72,7 @@ from repro.data.frequency import FrequencyMatrix
 from repro.data.hierarchy import Hierarchy, Node
 from repro.data.schema import Schema
 from repro.errors import ReproError
+from repro.streaming.release import StreamNode, StreamRelease, stream_result
 
 __all__ = [
     "save_result",
@@ -65,6 +81,12 @@ __all__ = [
     "ResultHandle",
     "schema_to_dict",
     "schema_from_dict",
+    "create_stream_archive",
+    "append_stream_nodes",
+    "read_stream_header",
+    "read_stream_manifest",
+    "stream_node_key",
+    "stream_nodes_from_manifest",
 ]
 
 _FORMAT_VERSION = 1
@@ -72,6 +94,10 @@ _FORMAT_VERSION = 1
 _COEFFICIENT_FORMAT_VERSION = 2
 #: Archive format for sharded releases (manifest + per-shard entries).
 _SHARDED_FORMAT_VERSION = 3
+#: Archive format for append-able streams (tree nodes + versioned manifests).
+_STREAM_FORMAT_VERSION = 4
+#: Member-name prefix of the versioned stream manifests.
+_MANIFEST_PREFIX = "stream_manifest_"
 
 
 def _hierarchy_to_dict(hierarchy: Hierarchy) -> dict:
@@ -144,8 +170,14 @@ def save_result(path, result: PublishResult) -> None:
     Dense releases write the v1 layout; coefficient releases the v2
     layout (coefficients + SA set, no dense matrix); sharded releases
     the v3 layout (a manifest plus one array member per shard, each in
-    that shard's own representation).
+    that shard's own representation); stream releases the v4 layout as
+    a one-shot snapshot of the whole tree (every node loads; prefer the
+    publisher's own append path for live streams — and note a snapshot
+    records no base seed, so resuming it draws fresh entropy).
     """
+    if isinstance(result.release, StreamRelease):
+        _save_stream_result(path, result)
+        return
     header = {
         "schema": schema_to_dict(result.release.schema),
         "epsilon": result.epsilon,
@@ -294,12 +326,394 @@ def _sharded_release(path, archive, header: dict) -> ShardedRelease:
     return ShardedRelease(schema, attribute, bounds, shards)
 
 
+# ----------------------------------------------------------------------
+# v4 stream archives
+# ----------------------------------------------------------------------
+def stream_node_key(level: int, index: int) -> str:
+    """The archive member name holding tree node ``(level, index)``.
+
+    Parameters
+    ----------
+    level, index:
+        The node's dyadic-tree coordinates.
+    """
+    return f"node_{int(level)}_{int(index)}"
+
+
+def _npy_bytes(array) -> bytes:
+    """An array serialized in ``.npy`` form (what ``np.load`` expects
+    of every ``.npz`` member)."""
+    buffer = _io.BytesIO()
+    np.lib.format.write_array(
+        buffer, np.ascontiguousarray(array), allow_pickle=False
+    )
+    return buffer.getvalue()
+
+
+def _json_member(payload: dict) -> bytes:
+    """A JSON payload as an ``.npy``-serialized uint8 array."""
+    return _npy_bytes(
+        np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
+    )
+
+
+def _decode_json_array(array) -> dict:
+    return json.loads(bytes(np.asarray(array).tobytes()).decode("utf-8"))
+
+
+def create_stream_archive(
+    path,
+    schema: Schema,
+    *,
+    epsilon: float,
+    epoch_length: int = 1,
+    mechanism: dict | None = None,
+    mechanism_name: str = "stream",
+    seed=None,
+    representation: str = "coefficients",
+) -> None:
+    """Create an empty (zero-epoch) v4 stream archive at ``path``.
+
+    The header written here is static for the archive's whole life;
+    everything that evolves (the node list, the epoch count) lives in
+    the versioned manifests :func:`append_stream_nodes` adds.  Refuses
+    to overwrite an existing file — a stream archive is append-only.
+
+    Parameters
+    ----------
+    path:
+        Where to create the archive (conventionally ``.npz``).
+    schema:
+        The stream's released schema.
+    epsilon:
+        The per-epoch (and overall) privacy budget.
+    epoch_length:
+        Timestamp units per epoch.
+    mechanism:
+        The JSON mechanism spec :meth:`repro.streaming.publisher.
+        StreamingPublisher.open` rebuilds the mechanism from.
+    mechanism_name:
+        Human-readable mechanism name (display only).
+    seed:
+        The base seed to record, or ``None``; recording it makes resumes
+        bit-reproducible at the cost of making the noise recomputable
+        by anyone holding the archive.
+    representation:
+        The per-node representation the stream publishes
+        (``"coefficients"`` or ``"dense"``).
+    """
+    header = {
+        "format": _STREAM_FORMAT_VERSION,
+        "representation": "stream",
+        "schema": schema_to_dict(schema),
+        "epsilon": float(epsilon),
+        "epoch_length": int(epoch_length),
+        "mechanism": mechanism or {},
+        "mechanism_name": str(mechanism_name),
+        "seed": _jsonable(seed),
+        "node_representation": representation,
+    }
+    manifest = {"epochs": 0, "nodes": []}
+    try:
+        # ZIP_STORED: the payloads are high-entropy noise, so deflate
+        # buys a few percent at a large per-epoch latency cost.
+        with zipfile.ZipFile(path, "x", compression=zipfile.ZIP_STORED) as archive:
+            archive.writestr("header.npy", _json_member(header))
+            archive.writestr(f"{_MANIFEST_PREFIX}0.npy", _json_member(manifest))
+    except FileExistsError as exc:
+        raise ReproError(
+            f"stream archive {path} already exists; resume it with "
+            "StreamingPublisher.open instead"
+        ) from exc
+
+
+def _node_payload(release) -> np.ndarray:
+    """The array a stream node's release stores in its archive member."""
+    if isinstance(release, CoefficientRelease):
+        return release.coefficients
+    if isinstance(release, DenseRelease):
+        return release.to_matrix().values
+    raise ReproError(
+        f"cannot archive a stream node of type {type(release).__name__}"
+    )
+
+
+def append_stream_nodes(path, releases: dict, manifest: dict) -> None:
+    """Append newly completed tree nodes plus a fresh manifest.
+
+    Append-only at the *member* level (existing members are never
+    rewritten, every earlier manifest stays parseable) and **atomic**
+    at the *file* level: the new members are appended to a temporary
+    copy in the same directory which then replaces the archive via
+    ``os.replace``, so a concurrent reader — e.g. a serving process
+    whose ``watch_streams`` probe fires mid-append — always opens
+    either the old or the new archive, never a zip whose central
+    directory is being rewritten.  The caller is the single writer (the
+    stream's publisher).
+
+    Parameters
+    ----------
+    path:
+        A v4 archive created by :func:`create_stream_archive`.
+    releases:
+        ``(level, index) -> Release`` for each node completed by this
+        epoch close; coefficient releases store their coefficient
+        tensor, dense ones their ``M*``.
+    manifest:
+        The full manifest at the new epoch count: ``{"epochs": T,
+        "nodes": [...]}`` with one accounting entry per tree node.
+    """
+    epochs = int(manifest["epochs"])
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    descriptor, scratch = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".appending"
+    )
+    os.close(descriptor)
+    try:
+        shutil.copyfile(path, scratch)
+        with zipfile.ZipFile(
+            scratch, "a", compression=zipfile.ZIP_STORED
+        ) as archive:
+            existing = set(archive.namelist())
+            for (level, index), release in releases.items():
+                member = stream_node_key(level, index) + ".npy"
+                if member in existing:
+                    raise ReproError(
+                        f"stream archive {path} already holds {member}; "
+                        "nodes are append-only"
+                    )
+                archive.writestr(member, _npy_bytes(_node_payload(release)))
+            archive.writestr(
+                f"{_MANIFEST_PREFIX}{epochs}.npy", _json_member(manifest)
+            )
+        os.replace(scratch, path)
+    except BaseException:
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+
+
+def read_stream_header(path) -> dict:
+    """The static header of a v4 stream archive.
+
+    Parameters
+    ----------
+    path:
+        A v4 archive.
+
+    Returns
+    -------
+    dict
+        The decoded header; non-stream archives raise
+        :class:`~repro.errors.ReproError`.
+    """
+    with np.load(path) as archive:
+        header = _decode_header(archive)
+    if header.get("format") != _STREAM_FORMAT_VERSION:
+        raise ReproError(
+            f"{path} is not a stream archive "
+            f"(format {header.get('format', _FORMAT_VERSION)!r})"
+        )
+    return header
+
+
+def _decode_manifest(archive) -> dict:
+    """The newest versioned manifest of an open v4 archive."""
+    best_epochs, best_name = -1, None
+    for name in archive.files:
+        if not name.startswith(_MANIFEST_PREFIX):
+            continue
+        try:
+            epochs = int(name[len(_MANIFEST_PREFIX) :])
+        except ValueError:
+            continue
+        if epochs > best_epochs:
+            best_epochs, best_name = epochs, name
+    if best_name is None:
+        raise ReproError("corrupt stream archive: no manifest member")
+    manifest = _decode_json_array(archive[best_name])
+    if int(manifest.get("epochs", -1)) != best_epochs:
+        raise ReproError(
+            f"corrupt stream archive: manifest {best_name} disagrees with "
+            f"its epoch count {manifest.get('epochs')!r}"
+        )
+    return manifest
+
+
+def read_stream_manifest(path) -> dict:
+    """The newest manifest of a v4 stream archive (nodes + epoch count).
+
+    Parameters
+    ----------
+    path:
+        A v4 archive.
+    """
+    with np.load(path) as archive:
+        return _decode_manifest(archive)
+
+
+def _stream_node_loader(path: str, member: str, schema, entry: dict):
+    """A zero-argument loader decompressing one node member on demand."""
+
+    def load() -> PublishResult:
+        with np.load(path) as archive:
+            payload = archive[member]
+        return _shard_release_from_entry(schema, entry, payload)
+
+    return load
+
+
+def stream_nodes_from_manifest(path, schema: Schema, manifest: dict, *, archive=None):
+    """Build the node table a :class:`StreamRelease` serves from.
+
+    Parameters
+    ----------
+    path:
+        The archive's filesystem path (each lazy node re-opens it on
+        first touch, so appends never hold the file open).
+    schema:
+        The stream's schema (shared by every node).
+    manifest:
+        A manifest from :func:`read_stream_manifest`.
+    archive:
+        An open ``np.load`` handle to read **eagerly** from instead
+        (used for file-like inputs that cannot be re-opened later).
+
+    Returns
+    -------
+    dict
+        ``(level, index) -> StreamNode``, lazy unless ``archive`` was
+        given.
+    """
+    nodes = {}
+    try:
+        for entry in manifest["nodes"]:
+            level, index = int(entry["level"]), int(entry["index"])
+            member = stream_node_key(level, index)
+            entry = dict(entry)
+            if archive is None:
+                nodes[(level, index)] = StreamNode(
+                    level,
+                    index,
+                    float(entry["noise_magnitude"]),
+                    _stream_node_loader(str(path), member, schema, entry),
+                    entry.get("representation"),
+                )
+            else:
+                result = _shard_release_from_entry(schema, entry, archive[member])
+                nodes[(level, index)] = StreamNode.from_result(level, index, result)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"corrupt stream archive: {exc!r}") from exc
+    return nodes
+
+
+def _stream_release(path, archive, header: dict) -> tuple[StreamRelease, dict]:
+    """Build the (node-lazy when possible) release of a v4 archive."""
+    try:
+        schema = schema_from_dict(header["schema"])
+        manifest = _decode_manifest(archive)
+        entries = manifest["nodes"]
+        keys = [
+            stream_node_key(entry["level"], entry["index"]) for entry in entries
+        ]
+        missing = sorted(set(keys) - set(archive.files))
+        if missing:
+            raise ReproError(f"corrupt stream archive: missing members {missing}")
+        if entries:
+            sa = tuple(entries[0]["sa"])
+        else:
+            sa = tuple(header.get("mechanism", {}).get("sa", ()))
+        lazy = isinstance(path, (str, os.PathLike))
+        nodes = stream_nodes_from_manifest(
+            path, schema, manifest, archive=None if lazy else archive
+        )
+        release = StreamRelease(schema, sa, int(manifest["epochs"]), nodes)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"corrupt stream archive: {exc!r}") from exc
+    return release, manifest
+
+
+def _stream_result(path, archive, header: dict) -> PublishResult:
+    """Rebuild a v4 archive's :class:`PublishResult` (manifest accounting).
+
+    Delegates the leaf aggregation to
+    :func:`repro.streaming.release.stream_result` — the same convention
+    :meth:`StreamingPublisher.result` uses — so archive-loaded and
+    in-process stream results can never disagree on accounting.
+    """
+    release, manifest = _stream_release(path, archive, header)
+    leaves = [
+        SimpleNamespace(
+            epsilon=float(entry["epsilon"]),
+            noise_magnitude=float(entry["noise_magnitude"]),
+            generalized_sensitivity=float(entry["generalized_sensitivity"]),
+            variance_bound=float(entry["variance_bound"]),
+        )
+        for entry in manifest["nodes"]
+        if entry["level"] == 0
+    ]
+    return stream_result(
+        release,
+        leaves,
+        epsilon=float(header["epsilon"]),
+        mechanism=header.get("mechanism_name", "stream"),
+        epoch_length=int(header.get("epoch_length", 1)),
+    )
+
+
+def _save_stream_result(path, result: PublishResult) -> None:
+    """One-shot v4 snapshot of a stream result's whole node tree."""
+    release = result.release
+    entries = []
+    payloads = {}
+    for (level, index), node in sorted(release.nodes.items()):
+        node_result = node.result()
+        node_release = node_result.release
+        entry = {
+            "level": level,
+            "index": index,
+            "representation": node_result.representation,
+            "epsilon": node_result.epsilon,
+            "noise_magnitude": node_result.noise_magnitude,
+            "generalized_sensitivity": node_result.generalized_sensitivity,
+            "variance_bound": node_result.variance_bound,
+            "sa": list(release.sa_names),
+        }
+        payloads[stream_node_key(level, index)] = _node_payload(node_release)
+        entries.append(entry)
+    header = {
+        "format": _STREAM_FORMAT_VERSION,
+        "representation": "stream",
+        "schema": schema_to_dict(release.schema),
+        "epsilon": result.epsilon,
+        "epoch_length": int(result.details.get("epoch_length", 1)),
+        # Privelet+ with an explicit SA set reproduces every standard
+        # mechanism's noise structure, so a snapshot stays resumable.
+        "mechanism": {"kind": "privelet+", "sa": list(release.sa_names)},
+        "mechanism_name": str(result.details.get("mechanism", "stream")),
+        "seed": None,
+        "node_representation": entries[0]["representation"] if entries else "coefficients",
+    }
+    manifest = {"epochs": release.epochs, "nodes": entries}
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_STORED) as archive:
+        archive.writestr("header.npy", _json_member(header))
+        for member, payload in payloads.items():
+            archive.writestr(member + ".npy", _npy_bytes(payload))
+        archive.writestr(
+            f"{_MANIFEST_PREFIX}{release.epochs}.npy", _json_member(manifest)
+        )
+
+
 def load_result(path) -> PublishResult:
     """Reload a result written by :func:`save_result` (any format).
 
     A v3 (sharded) archive loaded from a filesystem path keeps its
-    shards lazy: only the manifest is parsed now, and each shard's
-    payload is decompressed when the first query routes to it.
+    shards lazy, and a v4 (stream) archive its tree nodes: only the
+    manifest is parsed now, and each payload is decompressed when the
+    first query routes to it.
     """
     with np.load(path) as archive:
         header = _decode_header(archive)
@@ -309,7 +723,10 @@ def load_result(path) -> PublishResult:
                 payload = archive["values"]
             elif format_version == _COEFFICIENT_FORMAT_VERSION:
                 payload = archive["coefficients"]
-            elif format_version == _SHARDED_FORMAT_VERSION:
+            elif format_version in (
+                _SHARDED_FORMAT_VERSION,
+                _STREAM_FORMAT_VERSION,
+            ):
                 payload = None
             else:
                 raise ReproError(
@@ -317,6 +734,8 @@ def load_result(path) -> PublishResult:
                 )
         except KeyError as exc:
             raise ReproError(f"not a repro result archive: missing {exc}") from exc
+        if format_version == _STREAM_FORMAT_VERSION:
+            return _stream_result(path, archive, header)
         if format_version == _SHARDED_FORMAT_VERSION:
             release = _sharded_release(path, archive, header)
     if format_version == _COEFFICIENT_FORMAT_VERSION:
@@ -365,6 +784,7 @@ class ResultHandle:
         self._path = str(path)
         self._header: dict | None = None
         self._result: PublishResult | None = None
+        self._stat: tuple[int, int] | None = None
         self._lock = threading.Lock()
 
     @property
@@ -383,9 +803,28 @@ class ResultHandle:
         if self._header is None:
             with self._lock:
                 if self._header is None:
+                    stat = os.stat(self._path)
                     with np.load(self._path) as archive:
                         self._header = _decode_header(archive)
+                    self._stat = (stat.st_mtime_ns, stat.st_size)
         return self._header
+
+    @property
+    def stale(self) -> bool:
+        """Whether the file changed on disk since the header was read.
+
+        Pure ``stat`` comparison — no I/O on the archive itself.  Only
+        append-able (v4 stream) archives legitimately change in place;
+        a serving layer uses this to decide when to re-resolve a live
+        stream's manifest.
+        """
+        if self._stat is None:
+            return False
+        try:
+            stat = os.stat(self._path)
+        except OSError:
+            return False
+        return (stat.st_mtime_ns, stat.st_size) != self._stat
 
     @property
     def representation(self) -> str:

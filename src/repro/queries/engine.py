@@ -32,12 +32,13 @@ a :class:`~repro.core.release.CoefficientRelease` serves by sparse
 adjoint gathers over the noisy coefficients — same answers, no dense
 ``M*``.  Everything else in the engine (exact variances, intervals,
 marginal stds) already depended only on the mechanism configuration, so
-it is representation-independent by construction.  A
-:class:`~repro.core.sharding.ShardedRelease` backend is the one case
-with no single mechanism configuration — each shard has its own
-transform and λ — so point answers *and* exact variances both delegate
-to the release, which clips per shard and sums (independent noise means
-the variances add).
+it is representation-independent by construction.  **Composed**
+backends — :class:`~repro.core.sharding.ShardedRelease` and
+:class:`~repro.streaming.release.StreamRelease` — have no single
+mechanism configuration (each shard or tree node has its own transform
+and λ), so the engine detects their ``noise_variances_boxes`` hook and
+delegates point answers *and* exact variances to the release, which
+routes per part and sums (independent noise means the variances add).
 """
 
 from __future__ import annotations
@@ -50,7 +51,6 @@ import numpy as np
 from repro.analysis.exact import AxisProfileCache, query_boxes
 from repro.core.framework import PublishResult
 from repro.core.release import CoefficientRelease, infer_sa_names, marginal_boxes
-from repro.core.sharding import ShardedRelease
 from repro.errors import QueryError
 from repro.queries.query import RangeCountQuery
 from repro.transforms.multidim import HNTransform
@@ -130,18 +130,20 @@ class QueryEngine:
         self._result = result
         self._release = result.release
         schema = self._release.schema
-        if isinstance(self._release, ShardedRelease):
-            # A sharded release has no single transform or lambda: each
-            # shard carries its own.  Point answers and exact variances
-            # both delegate to the release, which routes, clips, and
-            # sums per shard.  The per-shard profile caches are built
-            # with this engine's factory and owned by this engine, so a
-            # server's bounded policy (and its hit/miss accounting)
-            # covers exactly this engine's traffic.
+        if hasattr(self._release, "noise_variances_boxes"):
+            # A composed release (sharded, stream) has no single
+            # transform or lambda: each shard or tree node carries its
+            # own.  Point answers and exact variances both delegate to
+            # the release, which routes and sums per part.  The per-part
+            # profile caches are built with this engine's factory and
+            # owned by this engine, so a server's bounded policy (and
+            # its hit/miss accounting) covers exactly this engine's
+            # traffic.
             if sa_names is not None:
                 raise QueryError(
-                    "sharded releases carry one SA set per shard; "
-                    "the sa_names override is not supported"
+                    "composed releases (sharded, stream) carry their own "
+                    "SA configuration; the sa_names override is not "
+                    "supported"
                 )
             self._transform = None
             self._profiles = self._release.build_profile_caches(
@@ -185,8 +187,8 @@ class QueryEngine:
     def transform(self) -> HNTransform:
         """The HN transform reconstructed from the result's configuration.
 
-        ``None`` for a sharded backend, which has one transform per
-        shard instead (see :class:`~repro.core.sharding.ShardedRelease`).
+        ``None`` for a composed backend (sharded or stream), which has
+        one transform per shard or tree node instead.
         """
         return self._transform
 
@@ -255,8 +257,8 @@ class QueryEngine:
         """
         lows, highs = query_boxes(queries, self.schema.shape)
         if self._transform is None:
-            # Sharded: per-shard 2 lambda_i^2 * profile products on the
-            # clipped boxes, summed (independent noise adds).
+            # Composed: per-part 2 lambda_i^2 * profile products,
+            # summed (independent noise adds).
             return self._release.noise_variances_boxes(
                 lows, highs, caches=self._profiles
             )
@@ -362,9 +364,9 @@ class QueryEngine:
         schema = self.schema
         names = list(attribute_names)
         if self._transform is None:
-            # Sharded: every marginal cell is a box, so both the values
-            # and the exact stds come from one grid of clipped per-shard
-            # box passes (marginal_boxes validates the names).
+            # Composed: every marginal cell is a box, so both the values
+            # and the exact stds come from one grid of per-part box
+            # passes (marginal_boxes validates the names).
             kept_sizes, lows, highs = marginal_boxes(schema, names)
             values = self._release.answer_boxes(lows, highs).reshape(kept_sizes)
             variances = self._release.noise_variances_boxes(

@@ -15,6 +15,7 @@ under concurrent traffic without a global serving lock.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import threading
 from dataclasses import dataclass, field
@@ -83,6 +84,11 @@ class ReleaseRegistry:
     def register_archive(self, path, *, name: str | None = None) -> str:
         """Register an archive lazily; the payload loads on first touch.
 
+        The path is pinned to its **absolute** form at registration
+        time: lazy loading happens at an arbitrary later moment (the
+        first request), and a process that has since changed its working
+        directory must still resolve the archive the caller meant.
+
         Parameters
         ----------
         path:
@@ -97,13 +103,56 @@ class ReleaseRegistry:
         str
             The registered name.
         """
+        path = os.path.abspath(os.fspath(path))
         if name is None:
-            name = pathlib.Path(str(path)).stem
+            name = pathlib.Path(path).stem
         handle = open_result(path)
         with self._lock:
             self._check_new_name(name)
             self._entries[name] = _Entry(handle=handle)
         return name
+
+    def refresh(self, name: str) -> bool:
+        """Re-resolve an archive-backed entry from its file on disk.
+
+        The swap is atomic under the entry's lock: in-flight requests
+        finish against the release they already resolved, and the next
+        resolution sees the re-opened archive (for an append-able v4
+        stream, its newest manifest).  In-memory entries have nothing to
+        re-resolve and return ``False``.
+
+        Parameters
+        ----------
+        name:
+            A registered release name.
+
+        Returns
+        -------
+        bool
+            True when the entry was re-opened.
+        """
+        entry = self._entry(name)
+        with entry.lock:
+            if entry.handle is None:
+                return False
+            entry.handle = open_result(entry.handle.path)
+            entry.result = None
+            return True
+
+    def stale(self, name: str) -> bool:
+        """Whether ``name``'s archive changed on disk since it was opened.
+
+        A pure ``stat`` probe (see :attr:`repro.io.ResultHandle.stale`);
+        in-memory entries are never stale.
+
+        Parameters
+        ----------
+        name:
+            A registered release name.
+        """
+        entry = self._entry(name)
+        handle = entry.handle
+        return handle is not None and handle.stale
 
     def get(self, name: str) -> PublishResult:
         """Resolve ``name`` to its result, loading an archive on first touch.

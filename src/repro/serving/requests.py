@@ -14,6 +14,9 @@ Wire format (one JSON object per line)::
     {"id": 7, "release": "brazil", "ranges": {"Age": [18, 65]},
      "confidence": 0.95}
 
+    {"id": 8, "release": "events", "ranges": {"Age": [18, 65]},
+     "time_range": [3, 11]}
+
     {"ok": true, "id": 7, "release": "brazil", "estimate": 1234.5,
      "noise_std": 21.9, "lower": 1191.6, "upper": 1277.4,
      "confidence": 0.95}
@@ -56,6 +59,11 @@ class QueryRequest:
         dashboard-style traffic cache-friendly).
     confidence:
         Two-sided confidence level for the interval, in ``(0, 1)``.
+    time_range:
+        Optional half-open epoch window ``(lo, hi)`` for stream-backed
+        releases; ``hi`` may be ``None`` for "through the newest closed
+        epoch".  Addressing a non-stream release with a time range is a
+        ``bad-request``.
     request_id:
         Opaque caller token echoed back on the response (any JSON-able
         value).
@@ -64,6 +72,7 @@ class QueryRequest:
     release: str
     ranges: tuple = field(default_factory=tuple)
     confidence: float = 0.95
+    time_range: tuple | None = None
     request_id: object = None
 
     def __post_init__(self):
@@ -100,6 +109,24 @@ class QueryRequest:
                     f"each range must be (attribute, lo, hi), got {item!r}"
                 ) from None
         object.__setattr__(self, "ranges", tuple(sorted(normalized)))
+        if self.time_range is not None:
+            window = tuple(self.time_range)
+            if len(window) != 2:
+                raise ServingError(
+                    f"time_range must be [lo, hi], got {self.time_range!r}"
+                )
+            lo, hi = window
+            try:
+                lo = int(lo)
+                hi = None if hi is None else int(hi)
+            except (TypeError, ValueError):
+                raise ServingError(
+                    f"time_range bounds must be integers (hi may be null), "
+                    f"got {self.time_range!r}"
+                ) from None
+            if lo < 0 or (hi is not None and hi < lo):
+                raise ServingError(f"invalid time_range [{lo}, {hi})")
+            object.__setattr__(self, "time_range", (lo, hi))
 
     @classmethod
     def from_dict(cls, payload) -> "QueryRequest":
@@ -110,7 +137,9 @@ class QueryRequest:
         payload:
             A JSON object with ``release`` (required), ``ranges``
             (optional mapping ``{name: [lo, hi]}``), ``confidence``
-            (optional), and ``id`` (optional).
+            (optional), ``time_range`` (optional ``[lo, hi]`` epoch
+            window for stream releases, ``hi`` may be ``null``), and
+            ``id`` (optional).
 
         Returns
         -------
@@ -120,7 +149,9 @@ class QueryRequest:
         """
         if not isinstance(payload, dict):
             raise ServingError(f"request must be a JSON object, got {payload!r}")
-        unknown = set(payload) - {"release", "ranges", "confidence", "id", "op"}
+        unknown = set(payload) - {
+            "release", "ranges", "confidence", "time_range", "id", "op",
+        }
         if unknown:
             raise ServingError(f"unknown request fields: {sorted(unknown)}")
         if "release" not in payload:
@@ -131,10 +162,16 @@ class QueryRequest:
                 f"'ranges' must be an object of {{attribute: [lo, hi]}}, "
                 f"got {ranges!r}"
             )
+        time_range = payload.get("time_range")
+        if time_range is not None and not isinstance(time_range, (list, tuple)):
+            raise ServingError(
+                f"'time_range' must be [lo, hi], got {time_range!r}"
+            )
         return cls(
             release=payload["release"],
             ranges=ranges,
             confidence=payload.get("confidence", 0.95),
+            time_range=time_range,
             request_id=payload.get("id"),
         )
 
@@ -145,6 +182,8 @@ class QueryRequest:
             "ranges": {name: [lo, hi] for name, lo, hi in self.ranges},
             "confidence": self.confidence,
         }
+        if self.time_range is not None:
+            payload["time_range"] = list(self.time_range)
         if self.request_id is not None:
             payload["id"] = self.request_id
         return payload

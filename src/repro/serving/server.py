@@ -29,15 +29,16 @@ callers that touch :meth:`ReleaseServer.engine` directly.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.release import convert_result
-from repro.errors import ServingError
+from repro.errors import ServingError, StreamingError
 from repro.queries.engine import QueryEngine
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import LRUProfileCache
@@ -53,7 +54,8 @@ class ServerStats:
 
     #: Registered release names.
     releases: tuple
-    #: Engines built so far (<= len(releases); engines build lazily).
+    #: Engines built so far (lazily; stream releases may add one engine
+    #: per cached time window, so this can exceed len(releases)).
     engines_built: int
     #: Requests completed (successfully answered).
     requests: int
@@ -106,6 +108,17 @@ class ReleaseServer:
         a ``bad-request`` error on that release's first request.
     latency_window:
         Sliding-window size (requests) for the latency percentiles.
+    watch_streams:
+        When True (the default), a request touching a release backed by
+        an append-able **stream** archive first ``stat``-checks the file
+        and, if the publisher appended an epoch since, atomically swaps
+        in a re-resolved release (in-flight requests finish against the
+        one they already hold).  Static archives are never re-resolved
+        — their answers must not change under traffic.
+    window_engine_cache:
+        How many distinct ``(release, time_range)`` window engines to
+        keep (least recently used beyond that are dropped; their node
+        payloads stay cached on the shared stream release).
     """
 
     def __init__(
@@ -118,12 +131,17 @@ class ReleaseServer:
         representation: str | None = None,
         sa_names=None,
         latency_window: int = 8192,
+        watch_streams: bool = True,
+        window_engine_cache: int = 64,
     ):
         self._registry = registry if registry is not None else ReleaseRegistry()
         self._representation = representation
         self._sa_names = sa_names
         self._profile_cache_entries = int(profile_cache_entries)
+        self._watch_streams = bool(watch_streams)
         self._engines: dict[str, QueryEngine] = {}
+        self._window_engines: OrderedDict = OrderedDict()
+        self._max_window_engines = int(window_engine_cache)
         self._engines_lock = threading.RLock()
         self._latencies: deque = deque(maxlen=int(latency_window))
         self._requests = 0
@@ -166,8 +184,82 @@ class ReleaseServer:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def engine(self, name: str) -> QueryEngine:
+    def engine(self, name: str, time_range=None) -> QueryEngine:
         """The per-release engine, built on first touch under its lock.
+
+        Parameters
+        ----------
+        name:
+            A registered release name.
+        time_range:
+            Optional ``(lo, hi)`` epoch window for a stream-backed
+            release; the returned engine serves a
+            :meth:`~repro.streaming.release.StreamRelease.window` view
+            (engines are cached per window, LRU-bounded).  Non-stream
+            releases reject a time range with a ``bad-request``.
+
+        Returns
+        -------
+        QueryEngine
+            The engine serving that release, with this server's bounded
+            profile cache installed.
+        """
+        self._refresh_if_stale(name)
+        if time_range is None:
+            engine = self._engines.get(name)
+            if engine is not None:
+                return engine
+            with self._registry.lock_for(name):
+                engine = self._engines.get(name)
+                if engine is not None:
+                    return engine
+                engine = self._build_engine(self._resolve(name))
+                with self._engines_lock:
+                    self._engines[name] = engine
+                return engine
+        key = (name, tuple(time_range))
+        with self._engines_lock:
+            engine = self._window_engines.get(key)
+            if engine is not None:
+                self._window_engines.move_to_end(key)
+                return engine
+        with self._registry.lock_for(name):
+            with self._engines_lock:
+                engine = self._window_engines.get(key)
+                if engine is not None:
+                    self._window_engines.move_to_end(key)
+                    return engine
+            result = self._resolve(name)
+            window = getattr(result.release, "window", None)
+            if window is None:
+                raise ServingError(
+                    f"release {name!r} is not a stream; "
+                    "time_range is not supported",
+                    code="bad-request",
+                )
+            lo, hi = key[1]
+            try:
+                view = window(lo, hi)
+            except StreamingError as exc:
+                raise ServingError(str(exc), code="bad-request") from exc
+            engine = self._build_engine(
+                dataclasses.replace(result, release=view)
+            )
+            with self._engines_lock:
+                self._window_engines[key] = engine
+                while len(self._window_engines) > self._max_window_engines:
+                    self._window_engines.popitem(last=False)
+            return engine
+
+    def refresh(self, name: str) -> bool:
+        """Re-resolve an archive-backed release and swap its engines.
+
+        Safe under traffic: the registry entry's lock makes the swap
+        atomic, requests already holding the old engine finish against
+        it, and the next request for ``name`` builds a fresh engine from
+        the re-opened archive.  With ``watch_streams`` (the default) the
+        server calls this itself whenever a stream archive's file
+        changes, so an appending publisher needs no extra signalling.
 
         Parameters
         ----------
@@ -176,33 +268,45 @@ class ReleaseServer:
 
         Returns
         -------
-        QueryEngine
-            The engine serving that release, with this server's bounded
-            profile cache installed.
+        bool
+            True when the entry was re-opened (in-memory entries are
+            left untouched).
         """
-        engine = self._engines.get(name)
-        if engine is not None:
-            return engine
         with self._registry.lock_for(name):
-            engine = self._engines.get(name)
-            if engine is not None:
-                return engine
-            result = self._registry.get(name)
-            if self._representation is not None:
-                result = convert_result(
-                    result, self._representation, sa_names=self._sa_names
-                )
-            entries = self._profile_cache_entries
-            engine = QueryEngine(
-                result,
-                sa_names=self._sa_names,
-                profile_cache_factory=lambda transforms: LRUProfileCache(
-                    transforms, max_entries_per_axis=entries
-                ),
+            changed = self._registry.refresh(name)
+            if changed:
+                with self._engines_lock:
+                    self._engines.pop(name, None)
+                    for key in [k for k in self._window_engines if k[0] == name]:
+                        del self._window_engines[key]
+        return changed
+
+    def _resolve(self, name: str):
+        """Load (and optionally re-represent) ``name``'s result."""
+        result = self._registry.get(name)
+        if self._representation is not None:
+            result = convert_result(
+                result, self._representation, sa_names=self._sa_names
             )
-            with self._engines_lock:
-                self._engines[name] = engine
-            return engine
+        return result
+
+    def _build_engine(self, result) -> QueryEngine:
+        entries = self._profile_cache_entries
+        return QueryEngine(
+            result,
+            sa_names=self._sa_names,
+            profile_cache_factory=lambda transforms: LRUProfileCache(
+                transforms, max_entries_per_axis=entries
+            ),
+        )
+
+    def _refresh_if_stale(self, name: str) -> None:
+        """Auto-swap a live stream whose archive grew (stat probe only)."""
+        if not self._watch_streams or not self._registry.stale(name):
+            return
+        if self._registry.describe(name).get("representation") != "stream":
+            return
+        self.refresh(name)
 
     def submit(self, request: QueryRequest):
         """Enqueue one request; returns a future of its :class:`QueryResponse`.
@@ -271,7 +375,9 @@ class ReleaseServer:
             percentiles cover the sliding window only.
         """
         with self._engines_lock:
-            engines = list(self._engines.values())
+            engines = list(self._engines.values()) + list(
+                self._window_engines.values()
+            )
         hits = sum(engine.profile_cache.hits for engine in engines)
         misses = sum(engine.profile_cache.misses for engine in engines)
         evictions = sum(
@@ -346,10 +452,12 @@ class ReleaseServer:
         results: list = [None] * len(payloads)
         groups: dict[tuple, list[int]] = {}
         for index, (request, _) in enumerate(payloads):
-            groups.setdefault((request.release, request.confidence), []).append(index)
-        for (release_name, confidence), indexes in groups.items():
+            groups.setdefault(
+                (request.release, request.confidence, request.time_range), []
+            ).append(index)
+        for (release_name, confidence, time_range), indexes in groups.items():
             try:
-                engine = self.engine(release_name)
+                engine = self.engine(release_name, time_range)
             except Exception as exc:  # noqa: BLE001 - becomes per-request error
                 for index in indexes:
                     results[index] = exc

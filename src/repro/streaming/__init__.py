@@ -1,0 +1,43 @@
+"""Streaming ingestion: temporal releases over a logarithmic time hierarchy.
+
+One-shot publishing answers "what does the table look like today"; this
+package answers it continuously.  The pieces (each documented in its own
+module):
+
+* :mod:`repro.streaming.tree` — the dyadic epoch-tree math: node spans,
+  the merge path an epoch close completes, and the canonical
+  ``O(log T)`` window cover;
+* :class:`~repro.streaming.release.StreamRelease` — the composed answer
+  backend: a time window routed to its cover nodes, answers summed,
+  exact variances aggregated (the temporal sibling of
+  :class:`~repro.core.sharding.ShardedRelease`);
+* :class:`~repro.streaming.publisher.StreamingPublisher` — ingests
+  timestamped row batches, closes epochs (publish once per epoch at the
+  full ε, DP parallel composition over disjoint time buckets), merges
+  completed nodes, and appends to a v4 stream archive a live
+  :class:`~repro.serving.server.ReleaseServer` re-resolves on.
+
+See ``docs/ARCHITECTURE.md`` for the epoch lifecycle and the v4 format.
+"""
+
+from repro.streaming.publisher import StreamingPublisher, epoch_seed
+from repro.streaming.release import (
+    StreamNode,
+    StreamRelease,
+    merge_results,
+    stream_result,
+)
+from repro.streaming.tree import cover_bound, dyadic_cover, merge_path, node_span
+
+__all__ = [
+    "StreamNode",
+    "StreamRelease",
+    "StreamingPublisher",
+    "cover_bound",
+    "dyadic_cover",
+    "epoch_seed",
+    "merge_path",
+    "merge_results",
+    "node_span",
+    "stream_result",
+]

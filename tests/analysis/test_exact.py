@@ -11,7 +11,6 @@ from repro.analysis.exact import (
 )
 from repro.core.laplace import laplace_noise
 from repro.data.attributes import NominalAttribute, OrdinalAttribute
-from repro.data.frequency import FrequencyMatrix
 from repro.data.hierarchy import two_level_hierarchy
 from repro.data.schema import Schema
 from repro.errors import QueryError

@@ -250,7 +250,7 @@ class TestShardedRelease:
         )
 
     def test_sa_override_rejected(self, sharded):
-        with pytest.raises(QueryError, match="per shard"):
+        with pytest.raises(QueryError, match="their own SA configuration"):
             QueryEngine(sharded, sa_names=("Age",))
 
     def test_wrong_shard_count_rejected(self, table, per_shard):

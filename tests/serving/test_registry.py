@@ -106,3 +106,30 @@ class TestArchiveBacked:
         registry.register_archive(archive, name="b")
         assert registry.lock_for("a") is registry.lock_for("a")
         assert registry.lock_for("a") is not registry.lock_for("b")
+
+    def test_relative_path_pinned_at_registration(
+        self, archive, result, tmp_path, monkeypatch
+    ):
+        """Regression: lazy loading must not re-resolve against a CWD
+        that changed between registration and the first query."""
+        monkeypatch.chdir(archive.parent)
+        registry = ReleaseRegistry()
+        registry.register_archive(archive.name, name="rel")
+        assert registry.describe("rel")["loaded"] is False
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        monkeypatch.chdir(elsewhere)
+        loaded = registry.get("rel")  # first touch happens *after* chdir
+        assert loaded.epsilon == result.epsilon
+        assert registry.describe("rel")["source"] == str(archive)
+
+    def test_refresh_and_stale(self, archive, result):
+        registry = ReleaseRegistry()
+        registry.register("memory", result)
+        registry.register_archive(archive, name="disk")
+        assert registry.stale("memory") is False
+        assert registry.stale("disk") is False
+        assert registry.refresh("memory") is False
+        first = registry.get("disk")
+        assert registry.refresh("disk") is True
+        assert registry.get("disk") is not first

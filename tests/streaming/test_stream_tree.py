@@ -1,0 +1,117 @@
+"""Tests for the dyadic time-hierarchy math."""
+
+import math
+
+import pytest
+
+from repro.errors import StreamingError
+from repro.streaming.tree import cover_bound, dyadic_cover, merge_path, node_span
+
+
+class TestNodeSpan:
+    def test_leaf(self):
+        assert node_span(0, 5) == (5, 6)
+
+    def test_internal(self):
+        assert node_span(3, 2) == (16, 24)
+
+    def test_negative_rejected(self):
+        with pytest.raises(StreamingError, match="invalid tree node"):
+            node_span(-1, 0)
+        with pytest.raises(StreamingError, match="invalid tree node"):
+            node_span(0, -2)
+
+
+class TestMergePath:
+    def test_first_epoch_is_leaf_only(self):
+        assert merge_path(0) == [(0, 0)]
+
+    def test_odd_epoch_completes_parent(self):
+        assert merge_path(1) == [(0, 1), (1, 0)]
+
+    def test_power_of_two_boundary_completes_chain(self):
+        assert merge_path(7) == [(0, 7), (1, 3), (2, 1), (3, 0)]
+
+    def test_even_epoch_is_leaf_only(self):
+        assert merge_path(4) == [(0, 4)]
+
+    def test_spans_end_at_the_closed_epoch(self):
+        for epoch in range(64):
+            for level, index in merge_path(epoch):
+                lo, hi = node_span(level, index)
+                assert hi == epoch + 1
+                assert lo >= 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(StreamingError, match="invalid epoch"):
+            merge_path(-1)
+
+
+class TestDyadicCover:
+    def test_empty_window(self):
+        assert dyadic_cover(3, 3) == []
+
+    def test_single_epoch(self):
+        assert dyadic_cover(5, 6) == [(0, 5)]
+
+    def test_aligned_power_of_two(self):
+        assert dyadic_cover(0, 8) == [(3, 0)]
+
+    def test_mixed_window(self):
+        assert dyadic_cover(1, 7) == [(0, 1), (1, 1), (1, 2), (0, 6)]
+        assert dyadic_cover(1, 5) == [(0, 1), (1, 1), (0, 4)]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(StreamingError, match="invalid epoch window"):
+            dyadic_cover(-1, 2)
+        with pytest.raises(StreamingError, match="invalid epoch window"):
+            dyadic_cover(4, 2)
+
+    def test_cover_is_exact_disjoint_and_sorted(self):
+        for lo in range(0, 40):
+            for hi in range(lo, 41):
+                cover = dyadic_cover(lo, hi)
+                position = lo
+                for level, index in cover:
+                    span_lo, span_hi = node_span(level, index)
+                    assert span_lo == position
+                    position = span_hi
+                assert position == hi
+
+    def test_nodes_are_aligned(self):
+        for lo in range(0, 40):
+            for hi in range(lo, 41):
+                for level, index in dyadic_cover(lo, hi):
+                    span_lo, _ = node_span(level, index)
+                    assert span_lo % (1 << level) == 0
+
+    def test_cover_available_in_closed_prefix(self):
+        """Every cover node completed by the time epoch hi-1 closed."""
+        for lo in range(0, 33):
+            for hi in range(lo + 1, 33):
+                completed = {
+                    node for epoch in range(hi) for node in merge_path(epoch)
+                }
+                assert set(dyadic_cover(lo, hi)) <= completed
+
+    def test_cover_size_within_bound(self):
+        """Acceptance criterion: <= 2*ceil(log2 T) nodes per window."""
+        for total in range(1, 66):
+            bound = cover_bound(total)
+            assert bound <= max(1, 2 * math.ceil(math.log2(max(total, 2))))
+            for lo in range(0, total):
+                for hi in range(lo + 1, total + 1):
+                    cover = dyadic_cover(lo, hi)
+                    assert len(cover) <= cover_bound(hi - lo) <= bound
+
+
+class TestCoverBound:
+    def test_small_values(self):
+        assert cover_bound(0) == 0
+        assert cover_bound(1) == 1
+        assert cover_bound(2) == 2
+        assert cover_bound(3) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(StreamingError, match="invalid window length"):
+            cover_bound(-1)

@@ -529,3 +529,270 @@ class TestServe:
         assert stored[0]["estimate"] == pytest.approx(
             dense[0]["estimate"], abs=1e-6
         )
+
+
+class TestStreamingCommands:
+    def _ingest(self, archive, seed):
+        return main(
+            [
+                "ingest",
+                str(archive),
+                "--scale",
+                "0.05",
+                "--rows",
+                "500",
+                "--seed",
+                str(seed),
+            ]
+        )
+
+    def test_ingest_creates_archive_and_stages(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        assert self._ingest(archive, 5) == 0
+        out = capsys.readouterr().out
+        assert "created stream archive" in out
+        assert "staged 500 rows" in out
+        assert archive.exists()
+        assert (tmp_path / "events.npz.staging.npz").exists()
+
+    def test_repeated_ingest_accumulates(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._ingest(archive, 5)
+        self._ingest(archive, 6)
+        out = capsys.readouterr().out
+        assert "(1000 pending)" in out
+
+    def test_advance_epoch_publishes_staged_rows(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._ingest(archive, 5)
+        assert main(["advance-epoch", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "closed epoch 0: published 500 rows" in out
+        assert "stream now has 1 epochs" in out
+        # Staging consumed.
+        assert not (tmp_path / "events.npz.staging.npz").exists()
+
+    def test_advance_multiple_epochs(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._ingest(archive, 5)
+        assert main(["advance-epoch", str(archive), "--epochs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "closed epoch 3: published 0 rows" in out
+        assert "stream now has 4 epochs, 7 tree nodes" in out
+
+    def test_query_time_range(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._ingest(archive, 5)
+        main(["advance-epoch", str(archive), "--epochs", "4"])
+        capsys.readouterr()
+        code = main(
+            [
+                "query",
+                str(archive),
+                "--queries",
+                "4",
+                "--time-range",
+                "1",
+                "3",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 random range-count queries" in out
+        assert "stream backend" in out
+
+    def test_query_time_range_on_flat_archive_errors(self, tmp_path, capsys):
+        archive = tmp_path / "flat.npz"
+        main(["publish", str(archive), "--scale", "0.05", "--rows", "500"])
+        capsys.readouterr()
+        code = main(["query", str(archive), "--time-range", "0", "1"])
+        assert code == 2
+        assert "not a stream archive" in capsys.readouterr().err
+
+    def test_query_time_range_past_prefix_errors(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._ingest(archive, 5)
+        main(["advance-epoch", str(archive)])
+        capsys.readouterr()
+        code = main(["query", str(archive), "--time-range", "0", "9"])
+        assert code == 2
+        assert "outside the closed prefix" in capsys.readouterr().err
+
+    def test_ingest_into_non_stream_archive_errors(self, tmp_path, capsys):
+        archive = tmp_path / "flat.npz"
+        main(["publish", str(archive), "--scale", "0.05", "--rows", "500"])
+        capsys.readouterr()
+        code = self._ingest(archive, 5)
+        assert code == 2
+        assert "not a stream archive" in capsys.readouterr().err
+
+
+class TestServeInteractiveClient:
+    def test_request_response_client_is_not_deadlocked(self, capsys, monkeypatch):
+        """Regression: a client that waits for each response before
+        sending its next request must get answers while stdin is idle
+        (the loop used to flush only when the *next* line arrived)."""
+        import threading
+
+        import repro.cli as cli
+        from repro.core.privelet import publish_ordinal_release
+        from repro.serving.server import ReleaseServer
+
+        responses = threading.Semaphore(0)
+
+        class GatedStream(io.StringIO):
+            def write(self, text):
+                count = super().write(text)
+                if text.endswith("\n"):
+                    responses.release()
+                return count
+
+        answered = []
+
+        def request_lines():
+            for index in range(3):
+                yield json.dumps(
+                    {"id": index, "release": "r", "ranges": {"value": [0, 8]}}
+                ) + "\n"
+                # Strict request/response: wait for the answer before the
+                # next request ever becomes available on "stdin".
+                answered.append(responses.acquire(timeout=10.0))
+
+        stream = GatedStream()
+        with ReleaseServer() as server:
+            server.register(
+                "r", publish_ordinal_release(np.arange(32, dtype=float), 1.0, seed=0)
+            )
+            served = cli._serve_loop(server, request_lines(), stream)
+        assert served == 3
+        assert answered == [True, True, True]
+        lines = [json.loads(line) for line in stream.getvalue().strip().splitlines()]
+        assert [line["id"] for line in lines] == [0, 1, 2]
+        assert all(line["ok"] for line in lines)
+
+
+class TestStreamingCommandGuards:
+    """Regressions from review: staged rows survive failures, fixed
+    publishing flags cannot silently diverge from the archive."""
+
+    def _create(self, archive):
+        assert (
+            main(
+                [
+                    "ingest",
+                    str(archive),
+                    "--scale",
+                    "0.05",
+                    "--rows",
+                    "200",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+
+    def test_bad_epochs_preserves_staging(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._create(archive)
+        staging = tmp_path / "events.npz.staging.npz"
+        assert staging.exists()
+        assert main(["advance-epoch", str(archive), "--epochs", "0"]) == 2
+        assert "--epochs must be at least 1" in capsys.readouterr().err
+        assert staging.exists()  # the only copy of the rows survives
+        # And the rows still publish afterwards.
+        assert main(["advance-epoch", str(archive)]) == 0
+        assert "published 200 rows" in capsys.readouterr().out
+        assert not staging.exists()
+
+    def test_conflicting_epsilon_rejected(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._create(archive)
+        code = main(
+            ["ingest", str(archive), "--scale", "0.05", "--rows", "10", "--epsilon", "5"]
+        )
+        assert code == 2
+        assert "conflicts with the archive's epsilon" in capsys.readouterr().err
+
+    def test_conflicting_mechanism_rejected(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._create(archive)
+        code = main(
+            [
+                "ingest",
+                str(archive),
+                "--scale",
+                "0.05",
+                "--rows",
+                "10",
+                "--mechanism",
+                "basic",
+            ]
+        )
+        assert code == 2
+        assert "conflicts with the archive's mechanism" in capsys.readouterr().err
+
+    def test_conflicting_schema_rejected(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._create(archive)
+        code = main(["ingest", str(archive), "--scale", "0.2", "--rows", "10"])
+        assert code == 2
+        assert "--dataset/--scale" in capsys.readouterr().err
+
+    def test_matching_flags_accepted(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        self._create(archive)
+        code = main(
+            [
+                "ingest",
+                str(archive),
+                "--scale",
+                "0.05",
+                "--rows",
+                "10",
+                "--epsilon",
+                "1.0",
+                "--mechanism",
+                "privelet+",
+                "--epoch-length",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "staged 10 rows" in capsys.readouterr().out
+
+    def test_zero_epoch_length_rejected_at_creation(self, tmp_path, capsys):
+        archive = tmp_path / "events.npz"
+        code = main(
+            [
+                "ingest",
+                str(archive),
+                "--scale",
+                "0.05",
+                "--rows",
+                "10",
+                "--epoch-length",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "--epoch-length must be at least 1" in capsys.readouterr().err
+        assert not archive.exists()
+
+    def test_failed_ingest_rewrite_preserves_staging(self, tmp_path, monkeypatch):
+        """The staging rewrite goes through a temp file + os.replace, so
+        a crash mid-write leaves the previous sidecar intact."""
+        archive = tmp_path / "events.npz"
+        self._create(archive)
+        staging = tmp_path / "events.npz.staging.npz"
+        before = staging.read_bytes()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", explode)
+        code = main(["ingest", str(archive), "--scale", "0.05", "--rows", "10"])
+        assert code == 2
+        assert staging.read_bytes() == before

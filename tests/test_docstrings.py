@@ -30,6 +30,9 @@ AUDITED_MODULES = [
     "repro.serving.registry",
     "repro.serving.requests",
     "repro.serving.server",
+    "repro.streaming.publisher",
+    "repro.streaming.release",
+    "repro.streaming.tree",
 ]
 
 

@@ -309,3 +309,159 @@ class TestShardedArchives:
                     dst.writestr(name, src.read(name))
         with pytest.raises(ReproError, match="missing members"):
             load_result(clipped)
+
+
+class TestStreamArchives:
+    """v4 archives: append-able tree nodes + versioned manifests."""
+
+    @pytest.fixture
+    def stream_publisher(self, tmp_path):
+        from repro.data.census import generate_census_table
+        from repro.streaming import StreamingPublisher
+
+        spec = BRAZIL.scaled(0.05)
+        publisher = StreamingPublisher(
+            census_schema(spec),
+            PriveletPlusMechanism(sa_names="auto"),
+            1.0,
+            seed=13,
+            archive_path=tmp_path / "stream.npz",
+        )
+        for epoch in range(5):
+            publisher.ingest(generate_census_table(spec, 150, seed=40 + epoch))
+            publisher.advance_epoch()
+        return publisher
+
+    def test_round_trip_preserves_answers_and_variances(self, stream_publisher):
+        from repro.queries.engine import QueryEngine
+        from repro.queries.workload import generate_workload
+
+        loaded = load_result(stream_publisher.archive_path)
+        assert loaded.representation == "stream"
+        assert loaded.release.epochs == 5
+        assert loaded.details["stream"] is True
+        queries = generate_workload(loaded.release.schema, 25, seed=1)
+        np.testing.assert_allclose(
+            QueryEngine(loaded).answer_all(queries),
+            QueryEngine(stream_publisher.result()).answer_all(queries),
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            QueryEngine(loaded).noise_variances(queries),
+            QueryEngine(stream_publisher.result()).noise_variances(queries),
+            rtol=1e-12,
+        )
+
+    def test_loading_is_node_lazy(self, stream_publisher):
+        loaded = load_result(stream_publisher.archive_path)
+        release = loaded.release
+        assert release.nodes_loaded == 0
+        # Exact variances never need a payload.
+        lows = np.zeros((1, release.schema.dimensions), dtype=np.int64)
+        highs = np.asarray([list(release.schema.shape)], dtype=np.int64)
+        assert release.noise_variances_boxes(lows, highs)[0] > 0
+        assert release.nodes_loaded == 0
+        # A full-window query loads only the canonical cover, not all
+        # 2T-1 nodes.
+        release.answer_boxes(lows, highs)
+        assert release.nodes_loaded == len(release.cover) < release.num_nodes
+
+    def test_snapshot_save_result_round_trips(self, stream_publisher, tmp_path):
+        from repro.queries.engine import QueryEngine
+        from repro.queries.workload import generate_workload
+
+        snapshot = tmp_path / "snapshot.npz"
+        save_result(snapshot, stream_publisher.result())
+        loaded = load_result(snapshot)
+        assert loaded.release.epochs == 5
+        queries = generate_workload(loaded.release.schema, 20, seed=2)
+        np.testing.assert_allclose(
+            QueryEngine(loaded).answer_all(queries),
+            QueryEngine(stream_publisher.result()).answer_all(queries),
+            rtol=1e-12,
+        )
+
+    def test_open_result_reads_header_only(self, stream_publisher):
+        handle = open_result(stream_publisher.archive_path)
+        assert handle.representation == "stream"
+        assert handle.epsilon == 1.0
+        assert not handle.loaded
+        assert handle.load().release.nodes_loaded == 0
+
+    def test_append_only_members(self, stream_publisher):
+        import zipfile
+
+        with zipfile.ZipFile(stream_publisher.archive_path) as archive:
+            names = archive.namelist()
+        # No duplicate members, one manifest per epoch count 0..5.
+        assert len(names) == len(set(names))
+        manifests = sorted(n for n in names if n.startswith("stream_manifest_"))
+        assert manifests == [f"stream_manifest_{t}.npy" for t in range(6)]
+
+    def test_duplicate_node_append_rejected(self, stream_publisher):
+        from repro.io import append_stream_nodes
+
+        release = stream_publisher.release()
+        with pytest.raises(ReproError, match="append-only"):
+            append_stream_nodes(
+                stream_publisher.archive_path,
+                {(0, 0): release.node_result(0, 0).release},
+                {"epochs": 6, "nodes": []},
+            )
+
+    def test_missing_node_member_rejected(self, stream_publisher, tmp_path):
+        import zipfile
+
+        clipped = tmp_path / "clipped.npz"
+        with zipfile.ZipFile(stream_publisher.archive_path) as src, zipfile.ZipFile(
+            clipped, "w"
+        ) as dst:
+            for name in src.namelist():
+                if name != "node_2_0.npy":
+                    dst.writestr(name, src.read(name))
+        with pytest.raises(ReproError, match="missing members"):
+            load_result(clipped)
+
+    def test_corrupt_manifest_rejected(self, stream_publisher, tmp_path):
+        import zipfile
+
+        broken = tmp_path / "broken.npz"
+        with zipfile.ZipFile(stream_publisher.archive_path) as src, zipfile.ZipFile(
+            broken, "w"
+        ) as dst:
+            for name in src.namelist():
+                if not name.startswith("stream_manifest_"):
+                    dst.writestr(name, src.read(name))
+        with pytest.raises(ReproError, match="no manifest"):
+            load_result(broken)
+
+    def test_stale_tracks_appends(self, stream_publisher):
+        from repro.data.census import generate_census_table
+        from repro.streaming import StreamingPublisher
+
+        handle = open_result(stream_publisher.archive_path)
+        assert handle.stale is False
+        resumed = StreamingPublisher.open(stream_publisher.archive_path)
+        resumed.advance_epoch()
+        assert handle.stale is True
+        fresh = open_result(stream_publisher.archive_path)
+        assert fresh.stale is False
+        assert fresh.load().release.epochs == 6
+
+    def test_zero_epoch_archive_loads(self, tmp_path):
+        from repro.io import create_stream_archive
+
+        path = tmp_path / "empty.npz"
+        create_stream_archive(
+            path,
+            census_schema(BRAZIL.scaled(0.05)),
+            epsilon=1.0,
+            mechanism={"kind": "privelet+", "sa": ["Age", "Gender"]},
+        )
+        loaded = load_result(path)
+        assert loaded.release.epochs == 0
+        assert loaded.noise_magnitude == 0.0
+        with pytest.raises(ReproError, match="already exists"):
+            create_stream_archive(
+                path, census_schema(BRAZIL.scaled(0.05)), epsilon=1.0
+            )

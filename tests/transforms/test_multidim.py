@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data.attributes import NominalAttribute, OrdinalAttribute
-from repro.data.hierarchy import flat_hierarchy, two_level_hierarchy
+from repro.data.hierarchy import flat_hierarchy
 from repro.data.schema import Schema
 from repro.errors import SchemaError, TransformError
 from repro.transforms.base import IdentityTransform
