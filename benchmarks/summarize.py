@@ -10,7 +10,10 @@ Headline selection is convention-driven, not per-benchmark code: every
 numeric leaf whose dotted path mentions ``speedup``, ``qps``, or
 ``_per_s`` is a headline candidate, speedups first.  A benchmark opts
 into the summary simply by writing those keys (which all of them
-already do).
+already do).  A payload carrying a ``serving_vs_engine_qps_ratio``
+leaf additionally fills the *serving/engine qps* column, so the gap
+between the serving layer and the raw engine is visible in every CI
+step summary.
 
 Usage::
 
@@ -26,7 +29,7 @@ import os
 import pathlib
 import sys
 
-__all__ = ["headline_metrics", "summarize", "main"]
+__all__ = ["headline_metrics", "serving_engine_ratio", "summarize", "main"]
 
 #: Dotted-path substrings that make a numeric leaf a headline metric,
 #: in preference order.
@@ -75,6 +78,24 @@ def headline_metrics(payload: dict) -> list[tuple[str, float]]:
     return [(path, value) for _, path, value in candidates[:_MAX_HEADLINES]]
 
 
+def serving_engine_ratio(payload: dict) -> float | None:
+    """The payload's serving / raw-engine qps ratio, if it reports one.
+
+    Parameters
+    ----------
+    payload:
+        A decoded ``results/BENCH_*.json`` object.  The first numeric
+        leaf whose name is ``serving_vs_engine_qps_ratio`` (at any
+        nesting depth, provenance excluded) is the ratio; ``None`` when
+        the benchmark does not measure one.
+    """
+    body = {k: v for k, v in payload.items() if k != "provenance"}
+    for path, value in _numeric_leaves(body):
+        if path.rsplit(".", 1)[-1] == "serving_vs_engine_qps_ratio":
+            return value
+    return None
+
+
 def summarize(paths) -> str:
     """A GitHub-flavoured markdown table over BENCH json files.
 
@@ -96,7 +117,7 @@ def summarize(paths) -> str:
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            rows.append((name, f"unreadable: {exc}", "?", "?"))
+            rows.append((name, f"unreadable: {exc}", "?", "?", "?"))
             continue
         metrics = headline_metrics(payload)
         headline = (
@@ -106,20 +127,22 @@ def summarize(paths) -> str:
             )
             or "(no headline metrics)"
         )
+        ratio = serving_engine_ratio(payload)
+        ratio_cell = f"{ratio:.2f}" if ratio is not None else "—"
         provenance = payload.get("provenance", {})
         commit = str(provenance.get("commit", "?"))
         mode = "smoke" if payload.get("smoke") else "full"
-        rows.append((name, headline, mode, commit))
+        rows.append((name, headline, ratio_cell, mode, commit))
     lines = [
         "## Benchmark summary",
         "",
-        "| benchmark | headline | mode | commit |",
-        "|---|---|---|---|",
+        "| benchmark | headline | serving/engine qps | mode | commit |",
+        "|---|---|---|---|---|",
     ]
     if not rows:
-        lines.append("| _none found_ | | | |")
-    for name, headline, mode, commit in rows:
-        lines.append(f"| {name} | {headline} | {mode} | {commit} |")
+        lines.append("| _none found_ | | | | |")
+    for name, headline, ratio_cell, mode, commit in rows:
+        lines.append(f"| {name} | {headline} | {ratio_cell} | {mode} | {commit} |")
     return "\n".join(lines) + "\n"
 
 

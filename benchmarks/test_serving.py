@@ -18,6 +18,12 @@ archives*:
 * **two releases concurrently** — both releases are queried from
   parallel threads and every answer is checked against a direct
   single-release engine.
+* **columnar vs dict wire path** — the same traffic submitted as
+  ``QueryBatchRequest`` structure-of-arrays batches (one wire item per
+  chunk, plan-cache reuse, zero-copy engine handoff) against the
+  per-request dict path, plus the raw ``answer_columnar`` engine
+  ceiling.  Full mode asserts columnar >= 5x the dict path at batch
+  256 and within 5x of the raw engine.
 
 Set ``BENCH_SMOKE=1`` (or the legacy alias ``SERVING_BENCH_SMOKE=1``)
 for a CI-sized run (tiny tables, no
@@ -31,6 +37,7 @@ over run.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
 import pathlib
 import time
@@ -39,18 +46,24 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from benchmarks.provenance import provenance
+from repro.analysis.exact import query_boxes
 from repro.core.privelet_plus import PriveletPlusMechanism
 from repro.data.census import BRAZIL, US, generate_census_table
 from repro.io import save_result
 from repro.queries.engine import QueryEngine
 from repro.queries.workload import generate_workload
-from repro.serving.requests import QueryRequest
+from repro.serving.requests import QueryBatchRequest, QueryRequest
 from repro.serving.server import ReleaseServer
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 SEED = 20100301
 BATCH_SIZES = (1, 16, 256)
 MIN_WARM_SPEEDUP = 2.0
+#: Full-mode bar: columnar serving qps vs the dict path at batch 256.
+MIN_COLUMNAR_SPEEDUP = 5.0
+#: Full-mode bar: the raw engine may be at most this much faster than
+#: columnar serving at batch 256.
+MAX_ENGINE_GAP = 5.0
 ATTEMPTS = 3
 
 
@@ -152,6 +165,110 @@ def _measure(archives, requests) -> dict:
     }
 
 
+def _columnar_boxes(archives, repeats: int) -> dict:
+    """Per release: ``(schema, lows, highs)`` matching the dict workload.
+
+    The same generated queries the dict path wraps in ``QueryRequest``
+    objects, extracted once into tiled ``(n, d)`` box arrays — what a
+    columnar client would hold natively.
+    """
+    _, _, distinct = _scale_rows_queries()
+    boxes = {}
+    for index, (name, (_, result)) in enumerate(sorted(archives.items())):
+        schema = result.release.schema
+        queries = generate_workload(schema, distinct, seed=SEED + index)
+        lows, highs = query_boxes(queries, schema.shape)
+        boxes[name] = (
+            schema,
+            np.tile(lows, (repeats, 1)),
+            np.tile(highs, (repeats, 1)),
+        )
+    return boxes
+
+
+def _columnar_requests(boxes, batch_size: int) -> list[QueryBatchRequest]:
+    """The box arrays as interleaved per-release wire batches."""
+    per_release = []
+    for name, (schema, lows, highs) in sorted(boxes.items()):
+        chunks = []
+        for begin in range(0, lows.shape[0], batch_size):
+            lo = lows[begin : begin + batch_size]
+            hi = highs[begin : begin + batch_size]
+            ranges = {
+                attr: {"lo": lo[:, axis], "hi": hi[:, axis]}
+                for axis, attr in enumerate(schema.names)
+            }
+            chunks.append(QueryBatchRequest(name, ranges))
+        per_release.append(chunks)
+    interleaved = []
+    for group in itertools.zip_longest(*per_release):
+        interleaved.extend(chunk for chunk in group if chunk is not None)
+    return interleaved
+
+
+def _measure_columnar(archives, boxes) -> dict:
+    """Columnar sweep over BATCH_SIZES on a fresh (then warmed) server."""
+    with _fresh_server(archives) as server:
+        # Warm pass: engine builds, plan compiles, profile fills — the
+        # sweep then measures steady-state throughput, same as the dict
+        # sweep running after its cold/warm passes.
+        for request in _columnar_requests(boxes, max(BATCH_SIZES)):
+            server.query_columnar(request)
+        sweep = []
+        for batch_size in BATCH_SIZES:
+            requests = _columnar_requests(boxes, batch_size)
+            rows = sum(len(request) for request in requests)
+            start = time.perf_counter()
+            for request in requests:
+                server.query_columnar(request)
+            seconds = time.perf_counter() - start
+            sweep.append(
+                {
+                    "batch_size": batch_size,
+                    "seconds": seconds,
+                    "qps": rows / seconds,
+                }
+            )
+        stats = server.stats()
+    return {
+        "columnar_sweep": sweep,
+        "plan_cache_hits": stats.plan_cache_hits,
+        "plan_cache_misses": stats.plan_cache_misses,
+        "columnar_rows": stats.columnar_rows,
+    }
+
+
+def _measure_engine(archives, boxes) -> float:
+    """Raw-engine ceiling: ``answer_columnar`` qps, no serving layer."""
+    engines = {
+        name: QueryEngine(result) for name, (_, result) in archives.items()
+    }
+    chunk = max(BATCH_SIZES)
+    total_rows = 0
+    total_seconds = 0.0
+    for name, (_, lows, highs) in sorted(boxes.items()):
+        engine = engines[name]
+        # Warm the profile caches once, then time.
+        for begin in range(0, lows.shape[0], chunk):
+            engine.answer_columnar(
+                lows[begin : begin + chunk], highs[begin : begin + chunk]
+            )
+        start = time.perf_counter()
+        for begin in range(0, lows.shape[0], chunk):
+            engine.answer_columnar(
+                lows[begin : begin + chunk], highs[begin : begin + chunk]
+            )
+        total_seconds += time.perf_counter() - start
+        total_rows += lows.shape[0]
+    return total_rows / total_seconds
+
+
+def _qps_at(sweep, batch_size: int) -> float:
+    return next(
+        point["qps"] for point in sweep if point["batch_size"] == batch_size
+    )
+
+
 def test_serving_throughput(record_result, tmp_path):
     archives = _publish_archives(tmp_path)
     requests = _dashboard_requests(archives, repeats=2 if _smoke() else 4)
@@ -179,6 +296,29 @@ def test_serving_throughput(record_result, tmp_path):
             if payload["warm_speedup"] >= MIN_WARM_SPEEDUP:
                 break
             payload = _measure(archives, requests)
+
+    # Columnar wire path vs the dict path vs the raw engine ceiling,
+    # over the same boxes the dict requests describe.
+    top_batch = max(BATCH_SIZES)
+    boxes = _columnar_boxes(archives, repeats=2 if _smoke() else 4)
+    columnar = _measure_columnar(archives, boxes)
+    engine_qps = _measure_engine(archives, boxes)
+    dict_qps = _qps_at(payload["batch_sweep"], top_batch)
+    if not _smoke():
+        for _ in range(ATTEMPTS - 1):
+            columnar_qps = _qps_at(columnar["columnar_sweep"], top_batch)
+            if (
+                columnar_qps >= MIN_COLUMNAR_SPEEDUP * dict_qps
+                and engine_qps <= MAX_ENGINE_GAP * columnar_qps
+            ):
+                break
+            columnar = _measure_columnar(archives, boxes)
+            engine_qps = _measure_engine(archives, boxes)
+    columnar_qps = _qps_at(columnar["columnar_sweep"], top_batch)
+    columnar["engine_qps"] = engine_qps
+    columnar["columnar_vs_dict_speedup"] = columnar_qps / dict_qps
+    columnar["serving_vs_engine_qps_ratio"] = columnar_qps / engine_qps
+    payload["columnar"] = columnar
 
     scale, rows, distinct = _scale_rows_queries()
     payload = {
@@ -215,6 +355,16 @@ def test_serving_throughput(record_result, tmp_path):
         lines.append(
             f"batch {point['batch_size']:>4}: {point['qps']:>10.0f} queries/s"
         )
+    for point in columnar["columnar_sweep"]:
+        lines.append(
+            f"columnar {point['batch_size']:>4}: {point['qps']:>10.0f} rows/s"
+        )
+    lines.append(
+        f"columnar at {top_batch}: "
+        f"{columnar['columnar_vs_dict_speedup']:.1f}x the dict path; raw "
+        f"engine {engine_qps:,.0f} rows/s (serving/engine ratio "
+        f"{columnar['serving_vs_engine_qps_ratio']:.2f})"
+    )
     lines.append(
         f"profile-cache hit rate {stats['profile_cache_hit_rate']:.0%}, "
         f"mean batch {stats['mean_batch_size']:.1f}, "
@@ -234,4 +384,17 @@ def test_serving_throughput(record_result, tmp_path):
     assert payload["warm_speedup"] >= MIN_WARM_SPEEDUP, (
         f"warm-cache speedup {payload['warm_speedup']:.2f}x below the "
         f"{MIN_WARM_SPEEDUP:.0f}x bar after {ATTEMPTS} attempts"
+    )
+    # Columnar bars: the structure-of-arrays wire path must beat the
+    # per-request dict path by >= 5x at batch 256 and sit within 5x of
+    # the raw engine's batch throughput.
+    assert columnar["columnar_vs_dict_speedup"] >= MIN_COLUMNAR_SPEEDUP, (
+        f"columnar path {columnar['columnar_vs_dict_speedup']:.2f}x the "
+        f"dict path at batch {top_batch}, below the "
+        f"{MIN_COLUMNAR_SPEEDUP:.0f}x bar after {ATTEMPTS} attempts"
+    )
+    assert engine_qps <= MAX_ENGINE_GAP * columnar_qps, (
+        f"columnar serving {columnar_qps:,.0f} rows/s is more than "
+        f"{MAX_ENGINE_GAP:.0f}x behind the raw engine "
+        f"({engine_qps:,.0f} rows/s) after {ATTEMPTS} attempts"
     )

@@ -110,7 +110,10 @@ from repro.queries import (
     square_error,
 )
 from repro.serving import (
+    BatchQueryResponse,
     ErrorResponse,
+    PlanCache,
+    QueryBatchRequest,
     QueryRequest,
     QueryResponse,
     ReleaseRegistry,
@@ -223,5 +226,8 @@ __all__ = [
     "ServerStats",
     "QueryRequest",
     "QueryResponse",
+    "QueryBatchRequest",
+    "BatchQueryResponse",
+    "PlanCache",
     "ErrorResponse",
 ]

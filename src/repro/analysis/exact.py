@@ -48,7 +48,7 @@ from repro.data.schema import Schema
 from repro.errors import QueryError
 from repro.transforms.base import IdentityTransform, OneDimensionalTransform
 from repro.transforms.multidim import HNTransform
-from repro.utils.validation import ensure_positive
+from repro.utils.validation import ensure_boxes, ensure_positive
 
 __all__ = [
     "axis_variance_profile",
@@ -303,9 +303,47 @@ class CompiledWorkload:
         if not self.queries:
             raise QueryError("workload is empty")
         lows, highs = query_boxes(self.queries, schema.shape)
+        self._compile(lows, highs)
+
+    @classmethod
+    def from_boxes(cls, schema: Schema, lows, highs) -> "CompiledWorkload":
+        """Compile raw ``(n, d)`` box arrays, no query objects involved.
+
+        The columnar serving path arrives with bound arrays straight off
+        the wire; this constructor compiles them directly — same
+        deduplicated per-axis ranges, same SA-independent profile cache
+        — without materializing a Python query per row.  The resulting
+        workload has no :attr:`queries` tuple (it is empty), but every
+        vectorized method (:meth:`profile_products`, :meth:`variances`,
+        :meth:`average_variance`, :meth:`expected_relative_errors`)
+        works identically.
+
+        Parameters
+        ----------
+        schema:
+            The schema the boxes are bound to.
+        lows, highs:
+            ``(n, d)`` half-open box bounds, one row per query.
+
+        Returns
+        -------
+        CompiledWorkload
+            Compiled over the given boxes (``len`` = n).
+        """
+        lows, highs = ensure_boxes(lows, highs, schema.shape)
+        if lows.shape[0] == 0:
+            raise QueryError("workload is empty")
+        compiled = cls.__new__(cls)
+        compiled.schema = schema
+        compiled.queries = ()
+        compiled._compile(lows, highs)
+        return compiled
+
+    def _compile(self, lows: np.ndarray, highs: np.ndarray) -> None:
+        self._count = lows.shape[0]
         # Per axis: unique (lo, hi) pairs + the gather map back to queries.
         self._axis_ranges: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-        for axis in range(schema.dimensions):
+        for axis in range(self.schema.dimensions):
             pairs = np.stack([lows[:, axis], highs[:, axis]], axis=1)
             unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
             self._axis_ranges.append((unique[:, 0], unique[:, 1], inverse))
@@ -316,7 +354,7 @@ class CompiledWorkload:
         self._profile_cache: dict[tuple[int, bool], np.ndarray] = {}
 
     def __len__(self) -> int:
-        return len(self.queries)
+        return self._count
 
     @property
     def unique_range_counts(self) -> tuple[int, ...]:
@@ -351,7 +389,7 @@ class CompiledWorkload:
             raise QueryError(
                 "transform schema does not match the compiled workload"
             )
-        products = np.ones(len(self.queries), dtype=np.float64)
+        products = np.ones(self._count, dtype=np.float64)
         for axis, transform in enumerate(hn.transforms):
             products *= self.axis_profiles(axis, transform)
         return products
@@ -409,9 +447,9 @@ class CompiledWorkload:
         sanity = ensure_positive(sanity, "sanity")
         stds = np.sqrt(self.variances(hn, noise_magnitude))
         exact_answers = np.asarray(exact_answers, dtype=np.float64)
-        if exact_answers.shape != (len(self.queries),):
+        if exact_answers.shape != (self._count,):
             raise QueryError(
-                f"expected {len(self.queries)} exact answers, got shape "
+                f"expected {self._count} exact answers, got shape "
                 f"{exact_answers.shape}"
             )
         denominators = np.maximum(exact_answers, sanity)

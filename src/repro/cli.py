@@ -33,13 +33,17 @@ Commands
     batch query engine, printing each estimate with its exact noise std
     and confidence interval.  ``--time-range LO HI`` restricts a stream
     archive to an epoch window (answered from its ``O(log T)`` dyadic
-    cover).
+    cover).  ``--columnar`` drives the same workload through
+    :meth:`~repro.queries.engine.QueryEngine.answer_columnar` — raw box
+    arrays in, no per-query Python — and prints identical answers.
 ``serve``
     Stand up a :class:`~repro.serving.server.ReleaseServer` over one or
     more archives and drive it through a port-less JSONL loop: one JSON
     request per stdin line, one JSON response per stdout line (answers
     and errors both — a malformed request gets a structured error
     response, never a traceback).  Archives load lazily on first touch.
+    ``op=query_batch`` lines carry a whole columnar batch (parallel
+    lo/hi arrays per attribute) and get one array-valued response line.
 """
 
 from __future__ import annotations
@@ -75,7 +79,7 @@ from repro.experiments.reporting import format_accuracy_run, format_timing_run
 from repro.io import load_result, read_stream_header, save_result
 from repro.queries.engine import QueryEngine
 from repro.queries.workload import generate_workload
-from repro.serving.requests import ErrorResponse, QueryRequest
+from repro.serving.requests import ErrorResponse, QueryBatchRequest, QueryRequest
 from repro.serving.server import ReleaseServer
 from repro.streaming import StreamingPublisher
 
@@ -216,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("LO", "HI"),
         help="epoch window [LO, HI) for stream archives (answered from "
         "the window's O(log T) dyadic node cover)",
+    )
+    query.add_argument(
+        "--columnar",
+        action="store_true",
+        help="answer through the columnar fast path (raw box arrays "
+        "into answer_columnar); answers are bit-for-bit identical",
     )
 
     serve = commands.add_parser(
@@ -503,11 +513,18 @@ def _cmd_query(args) -> int:
     queries = generate_workload(
         result.release.schema, args.queries, seed=args.seed
     )
-    batch = engine.answer_all_with_intervals(queries, confidence=args.confidence)
+    if args.columnar:
+        from repro.analysis.exact import query_boxes
+
+        lows, highs = query_boxes(queries, result.release.schema.shape)
+        batch = engine.answer_columnar(lows, highs, confidence=args.confidence)
+    else:
+        batch = engine.answer_all_with_intervals(queries, confidence=args.confidence)
+    path_note = ", columnar path" if args.columnar else ""
     print(
         f"{len(queries)} random range-count queries on {args.archive} "
         f"(epsilon={result.epsilon}, {100 * args.confidence:.0f}% intervals, "
-        f"{result.representation} backend)"
+        f"{result.representation} backend{path_note})"
     )
     print(f"{'estimate':>12}{'noise std':>12}{'lower':>12}{'upper':>12}  query")
     for query, answer in zip(queries, batch):
@@ -609,7 +626,7 @@ def _serve_loop(server: ReleaseServer, lines, stream) -> int:
                 },
             )
             continue
-        if op != "query":
+        if op not in ("query", "query_batch"):
             _flush_pending(pending, stream)
             _emit(
                 stream,
@@ -617,7 +634,10 @@ def _serve_loop(server: ReleaseServer, lines, stream) -> int:
             )
             continue
         try:
-            request = QueryRequest.from_dict(payload)
+            if op == "query_batch":
+                request = QueryBatchRequest.from_dict(payload)
+            else:
+                request = QueryRequest.from_dict(payload)
             pending.append((request.request_id, server.submit(request)))
             served += 1
         except Exception as exc:  # noqa: BLE001 - wire gets structured errors

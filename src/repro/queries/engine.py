@@ -55,6 +55,7 @@ from repro.errors import QueryError
 from repro.queries.query import RangeCountQuery
 from repro.transforms.multidim import HNTransform
 from repro.utils.stats import gaussian_quantile
+from repro.utils.validation import ensure_boxes
 
 __all__ = ["QueryAnswer", "BatchQueryAnswers", "QueryEngine"]
 
@@ -256,6 +257,27 @@ class QueryEngine:
             Per-query exact variances, aligned with ``queries``.
         """
         lows, highs = query_boxes(queries, self.schema.shape)
+        return self.noise_variances_columnar(lows, highs)
+
+    def noise_variances_columnar(self, lows, highs) -> np.ndarray:
+        """Exact noise variances straight from ``(n, d)`` bound arrays.
+
+        The columnar twin of :meth:`noise_variances`: no query objects,
+        just per-axis half-open bounds.  Same memoized profile cache,
+        same exact math.
+
+        Parameters
+        ----------
+        lows, highs:
+            ``(n, d)`` int64 arrays of half-open box bounds, one row per
+            query (axis order = schema order).
+
+        Returns
+        -------
+        numpy.ndarray
+            Per-row exact variances.
+        """
+        lows, highs = ensure_boxes(lows, highs, self.schema.shape)
         if self._transform is None:
             # Composed: per-part 2 lambda_i^2 * profile products,
             # summed (independent noise adds).
@@ -305,12 +327,46 @@ class QueryEngine:
         BatchQueryAnswers
             Arrays aligned with ``queries``.
         """
+        lows, highs = query_boxes(queries, self.schema.shape)
+        return self.answer_columnar(lows, highs, confidence)
+
+    def answer_columnar(
+        self, lows, highs, confidence: float = 0.95
+    ) -> BatchQueryAnswers:
+        """Batch answers with intervals straight from ``(n, d)`` bound arrays.
+
+        The zero-object entry point the serving layer's columnar fast
+        path hands its decoded wire batches to: no
+        :class:`~repro.queries.query.RangeCountQuery` instances, no
+        per-query Python — one vectorized backend gather, one compiled
+        variance pass, one vectorized interval construction, all against
+        the same memoized profile caches the scalar path uses, so the
+        answers are bit-for-bit identical to
+        :meth:`answer_all_with_intervals` on the equivalent queries.
+
+        Degenerate rows (``lo == hi`` on any axis) cover zero cells and
+        answer an exact ``0.0`` with zero noise — consistent with every
+        release backend's ``answer_boxes`` contract.
+
+        Parameters
+        ----------
+        lows, highs:
+            ``(n, d)`` int64 arrays of half-open box bounds, one row per
+            query (axis order = schema order).
+        confidence:
+            Two-sided coverage level in ``(0, 1)``.
+
+        Returns
+        -------
+        BatchQueryAnswers
+            Arrays aligned with the rows.
+        """
         if not 0.0 < confidence < 1.0:
             raise QueryError(f"confidence must be in (0, 1), got {confidence}")
         confidence = float(confidence)
-        queries = list(queries)
-        estimates = self.answer_all(queries)
-        stds = np.sqrt(self.noise_variances(queries))
+        lows, highs = ensure_boxes(lows, highs, self.schema.shape)
+        estimates = self._release.answer_boxes(lows, highs)
+        stds = np.sqrt(self.noise_variances_columnar(lows, highs))
         tail = (1.0 - confidence) / 2.0
         gaussian_multiplier = -gaussian_quantile(tail)
         # Exact Laplace quantile for a *single* Laplace with the same

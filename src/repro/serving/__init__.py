@@ -8,12 +8,17 @@ package is about sustained traffic across *many* releases.  The pieces
   archive-backed entries load lazily;
 * :class:`~repro.serving.requests.QueryRequest` /
   :class:`~repro.serving.requests.QueryResponse` /
+  :class:`~repro.serving.requests.QueryBatchRequest` /
+  :class:`~repro.serving.requests.BatchQueryResponse` /
   :class:`~repro.serving.requests.ErrorResponse` — the wire types of
-  the JSONL protocol ``python -m repro serve`` speaks;
+  the JSONL protocol ``python -m repro serve`` speaks (scalar and
+  columnar);
 * :class:`~repro.serving.batching.MicroBatcher` — adaptive coalescing
   of concurrent single queries into vectorized engine batches;
 * :class:`~repro.serving.cache.LRUProfileCache` — bounded per-axis
   adjoint-profile memo keyed by axis ranges;
+* :class:`~repro.serving.plans.PlanCache` — compiled per-shape plans
+  the columnar path reuses across batches;
 * :class:`~repro.serving.server.ReleaseServer` — the composition, with
   per-release locks and hit-rate/batch/latency stats.
 
@@ -22,9 +27,12 @@ See ``docs/ARCHITECTURE.md`` for where this layer sits in the system.
 
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import LRUProfileCache
+from repro.serving.plans import CompiledPlan, PlanCache
 from repro.serving.registry import ReleaseRegistry
 from repro.serving.requests import (
+    BatchQueryResponse,
     ErrorResponse,
+    QueryBatchRequest,
     QueryRequest,
     QueryResponse,
     parse_request_line,
@@ -32,9 +40,13 @@ from repro.serving.requests import (
 from repro.serving.server import ReleaseServer, ServerStats
 
 __all__ = [
+    "BatchQueryResponse",
+    "CompiledPlan",
     "ErrorResponse",
     "LRUProfileCache",
     "MicroBatcher",
+    "PlanCache",
+    "QueryBatchRequest",
     "QueryRequest",
     "QueryResponse",
     "ReleaseRegistry",

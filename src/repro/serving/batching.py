@@ -85,9 +85,10 @@ class MicroBatcher:
         self._lifecycle_lock = threading.Lock()
         #: Handler invocations so far.
         self.batches = 0
-        #: Items drained into batches so far.
+        #: Weighted units drained into batches so far (a columnar item
+        #: submitted with ``weight=n`` counts n).
         self.items = 0
-        #: Largest batch handed to the handler so far.
+        #: Largest weighted batch handed to the handler so far.
         self.largest_batch = 0
         self._thread = threading.Thread(
             target=self._drain_loop, name=name, daemon=True
@@ -105,13 +106,19 @@ class MicroBatcher:
         """Average items per handler call so far."""
         return self.items / self.batches if self.batches else 0.0
 
-    def submit(self, item) -> Future:
+    def submit(self, item, *, weight: int = 1) -> Future:
         """Enqueue one item; returns the future of its handler result.
 
         Parameters
         ----------
         item:
             Any payload the handler understands.
+        weight:
+            How many logical units this item counts toward
+            ``max_batch`` — a columnar batch of *n* rows submits with
+            ``weight=n`` so coalescing stays bounded by total rows, not
+            by wire-item count.  The handler still receives the item as
+            one list entry.
 
         Returns
         -------
@@ -119,11 +126,12 @@ class MicroBatcher:
             Resolves to the handler's result for this item, or raises
             the per-item / per-batch exception.
         """
+        weight = ensure_positive_int(weight, "weight")
         future: Future = Future()
         with self._lifecycle_lock:
             if self._closed:
                 raise ServingError("batcher is closed", code="closed")
-            self._queue.put((item, future))
+            self._queue.put((item, future, weight))
         return future
 
     def close(self, *, timeout: float = 5.0) -> bool:
@@ -170,8 +178,9 @@ class MicroBatcher:
             if entry is _SHUTDOWN:
                 break
             batch = [entry]
+            weight = entry[2]
             deadline = time.monotonic() + self._linger
-            while len(batch) < self._max_batch:
+            while weight < self._max_batch:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
@@ -183,17 +192,18 @@ class MicroBatcher:
                     shutdown = True
                     break
                 batch.append(entry)
-            self._dispatch(batch)
+                weight += entry[2]
+            self._dispatch(batch, weight)
             self._adapt(len(batch))
         self._fail_pending()
 
-    def _dispatch(self, batch) -> None:
+    def _dispatch(self, batch, weight: int) -> None:
         self.batches += 1
-        self.items += len(batch)
-        self.largest_batch = max(self.largest_batch, len(batch))
-        futures = [future for _, future in batch]
+        self.items += weight
+        self.largest_batch = max(self.largest_batch, weight)
+        futures = [future for _, future, _ in batch]
         try:
-            results = self._handler([item for item, _ in batch])
+            results = self._handler([item for item, _, _ in batch])
             if len(results) != len(batch):
                 raise ServingError(
                     f"handler returned {len(results)} results for a batch "

@@ -39,11 +39,17 @@ import numpy as np
 
 from repro.core.release import convert_result
 from repro.errors import ServingError, StreamingError
-from repro.queries.engine import QueryEngine
+from repro.queries.engine import BatchQueryAnswers, QueryEngine
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import LRUProfileCache
+from repro.serving.plans import PlanCache
 from repro.serving.registry import ReleaseRegistry
-from repro.serving.requests import QueryRequest, QueryResponse
+from repro.serving.requests import (
+    BatchQueryResponse,
+    QueryBatchRequest,
+    QueryRequest,
+    QueryResponse,
+)
 
 __all__ = ["ReleaseServer", "ServerStats"]
 
@@ -75,6 +81,17 @@ class ServerStats:
     profile_cache_hit_rate: float
     #: LRU evictions across engines (0 until a cache fills).
     profile_cache_evictions: int
+    #: Columnar batches that found their shape compiled.
+    plan_cache_hits: int
+    #: Columnar batches that compiled a new plan.
+    plan_cache_misses: int
+    #: hits / (hits + misses), 0.0 before any columnar batch.
+    plan_cache_hit_rate: float
+    #: Plans dropped by the LRU bound (0 until the cache fills).
+    plan_cache_evictions: int
+    #: Rows answered through the columnar path (each scalar request
+    #: counts 1 toward ``requests``; a columnar batch counts its rows).
+    columnar_rows: int
     #: Median request latency (submit → answered) over the window.
     p50_latency_seconds: float
     #: 99th-percentile request latency over the window.
@@ -119,6 +136,9 @@ class ReleaseServer:
         How many distinct ``(release, time_range)`` window engines to
         keep (least recently used beyond that are dropped; their node
         payloads stay cached on the shared stream release).
+    max_plans:
+        LRU bound of the columnar :class:`~repro.serving.plans.PlanCache`
+        (compiled ``(release, attribute set, time_range)`` shapes).
     """
 
     def __init__(
@@ -133,6 +153,7 @@ class ReleaseServer:
         latency_window: int = 8192,
         watch_streams: bool = True,
         window_engine_cache: int = 64,
+        max_plans: int = 256,
     ):
         self._registry = registry if registry is not None else ReleaseRegistry()
         self._representation = representation
@@ -146,7 +167,9 @@ class ReleaseServer:
         self._latencies: deque = deque(maxlen=int(latency_window))
         self._requests = 0
         self._errors = 0
+        self._columnar_rows = 0
         self._closed = False
+        self._plan_cache = PlanCache(self.engine, max_plans=max_plans)
         self._batcher = MicroBatcher(
             self._handle_batch,
             max_batch=max_batch,
@@ -279,6 +302,9 @@ class ReleaseServer:
                     self._engines.pop(name, None)
                     for key in [k for k in self._window_engines if k[0] == name]:
                         del self._window_engines[key]
+                # Plans pin the engine they compiled against, so every
+                # plan touching the swapped release must recompile.
+                self._plan_cache.invalidate(name)
         return changed
 
     def _resolve(self, name: str):
@@ -308,27 +334,79 @@ class ReleaseServer:
             return
         self.refresh(name)
 
-    def submit(self, request: QueryRequest):
-        """Enqueue one request; returns a future of its :class:`QueryResponse`.
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The columnar plan cache (compiled per-shape serving state)."""
+        return self._plan_cache
+
+    def submit(self, request):
+        """Enqueue one request; returns a future of its response.
 
         Parameters
         ----------
         request:
-            The request to serve.
+            A :class:`QueryRequest` (scalar path), or a
+            :class:`QueryBatchRequest` (columnar path — the whole batch
+            is one queue item weighted by its row count, so micro-batch
+            coalescing stays bounded by total rows).
 
         Returns
         -------
         concurrent.futures.Future
-            Resolves to a :class:`QueryResponse`, or raises the
+            Resolves to a :class:`QueryResponse` (scalar) or a
+            :class:`BatchQueryResponse` (columnar), or raises the
             per-request error (e.g. ``unknown-release``).
         """
         if self._closed:
             raise ServingError("server is closed", code="closed")
+        if isinstance(request, QueryBatchRequest):
+            return self._batcher.submit(
+                (request, time.monotonic()), weight=len(request)
+            )
         if not isinstance(request, QueryRequest):
             raise ServingError(
-                f"submit needs a QueryRequest, got {type(request).__name__}"
+                f"submit needs a QueryRequest or QueryBatchRequest, "
+                f"got {type(request).__name__}"
             )
         return self._batcher.submit((request, time.monotonic()))
+
+    def submit_columnar(self, request: QueryBatchRequest):
+        """Enqueue one columnar batch; returns a future of its
+        :class:`BatchQueryResponse`.
+
+        Parameters
+        ----------
+        request:
+            The columnar batch to serve.
+
+        Returns
+        -------
+        concurrent.futures.Future
+            Resolves to a :class:`BatchQueryResponse` whose arrays are
+            aligned with the request's rows.
+        """
+        if not isinstance(request, QueryBatchRequest):
+            raise ServingError(
+                f"submit_columnar needs a QueryBatchRequest, "
+                f"got {type(request).__name__}"
+            )
+        return self.submit(request)
+
+    def query_columnar(self, request: QueryBatchRequest) -> BatchQueryResponse:
+        """Serve one columnar batch synchronously.
+
+        Parameters
+        ----------
+        request:
+            The columnar batch to serve.
+
+        Returns
+        -------
+        BatchQueryResponse
+            Estimates, exact noise stds, and interval bounds as arrays
+            aligned with the request's rows.
+        """
+        return self.submit_columnar(request).result()
 
     def query(self, request: QueryRequest) -> QueryResponse:
         """Serve one request synchronously (through the batching queue).
@@ -401,6 +479,11 @@ class ReleaseServer:
             profile_cache_misses=misses,
             profile_cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
             profile_cache_evictions=evictions,
+            plan_cache_hits=self._plan_cache.hits,
+            plan_cache_misses=self._plan_cache.misses,
+            plan_cache_hit_rate=self._plan_cache.hit_rate,
+            plan_cache_evictions=self._plan_cache.evictions,
+            columnar_rows=self._columnar_rows,
             p50_latency_seconds=p50,
             p99_latency_seconds=p99,
             linger_seconds=self._batcher.linger_seconds,
@@ -445,16 +528,31 @@ class ReleaseServer:
     def _handle_batch(self, payloads) -> list:
         """Answer one coalesced batch, grouped per (release, confidence).
 
-        Returns one entry per payload: a :class:`QueryResponse`, or an
-        :class:`Exception` for that request alone (the micro-batcher
-        sets it on the matching future, isolating failures per request).
+        Scalar requests group by ``(release, confidence, time_range)``
+        and go through ``answer_all_with_intervals`` as before; columnar
+        batches group by ``(plan_key, confidence)``, bind through the
+        plan cache, and reach the engine as concatenated ndarray views —
+        no per-row Python objects anywhere on that path.
+
+        Returns one entry per payload: a :class:`QueryResponse` /
+        :class:`BatchQueryResponse`, or an :class:`Exception` for that
+        request alone (the micro-batcher sets it on the matching future,
+        isolating failures per request).
         """
         results: list = [None] * len(payloads)
         groups: dict[tuple, list[int]] = {}
+        columnar_groups: dict[tuple, list[int]] = {}
         for index, (request, _) in enumerate(payloads):
-            groups.setdefault(
-                (request.release, request.confidence, request.time_range), []
-            ).append(index)
+            if isinstance(request, QueryBatchRequest):
+                columnar_groups.setdefault(
+                    (request.plan_key, request.confidence), []
+                ).append(index)
+            else:
+                groups.setdefault(
+                    (request.release, request.confidence, request.time_range), []
+                ).append(index)
+        for (plan_key, confidence), indexes in columnar_groups.items():
+            self._handle_columnar_group(payloads, results, plan_key, confidence, indexes)
         for (release_name, confidence, time_range), indexes in groups.items():
             try:
                 engine = self.engine(release_name, time_range)
@@ -494,6 +592,64 @@ class ReleaseServer:
             self._latencies.append(now - enqueued)
             if isinstance(result, Exception):
                 self._errors += 1
+            elif isinstance(result, BatchQueryResponse):
+                self._requests += len(result)
+                self._columnar_rows += len(result)
             else:
                 self._requests += 1
         return results
+
+    def _handle_columnar_group(
+        self, payloads, results, plan_key, confidence, indexes
+    ) -> None:
+        """Answer one columnar plan group: bind, concatenate, one engine call.
+
+        Each wire item binds separately (so an out-of-domain batch fails
+        alone); the surviving bound arrays are concatenated — a lone
+        item passes its views through untouched — and answered by one
+        :meth:`~repro.queries.engine.QueryEngine.answer_columnar` call.
+        Responses adopt slices of the engine's result arrays, so nothing
+        on this path is copied per row.
+        """
+        try:
+            plan = self._plan_cache.plan(plan_key)
+        except Exception as exc:  # noqa: BLE001 - becomes per-request error
+            for index in indexes:
+                results[index] = exc
+            return
+        bound, valid = [], []
+        for index in indexes:
+            request = payloads[index][0]
+            try:
+                bound.append(plan.bind(request))
+                valid.append(index)
+            except Exception as exc:  # noqa: BLE001
+                results[index] = exc
+        if not valid:
+            return
+        if len(bound) == 1:
+            lows, highs = bound[0]
+        else:
+            lows = np.concatenate([pair[0] for pair in bound])
+            highs = np.concatenate([pair[1] for pair in bound])
+        try:
+            answers = plan.engine.answer_columnar(lows, highs, confidence)
+        except Exception as exc:  # noqa: BLE001
+            for index in valid:
+                results[index] = exc
+            return
+        offset = 0
+        for index in valid:
+            request = payloads[index][0]
+            stop = offset + len(request)
+            window = BatchQueryAnswers(
+                estimates=answers.estimates[offset:stop],
+                noise_stds=answers.noise_stds[offset:stop],
+                lowers=answers.lowers[offset:stop],
+                uppers=answers.uppers[offset:stop],
+                confidence=answers.confidence,
+            )
+            results[index] = BatchQueryResponse.from_answers(
+                plan_key[0], window, request_id=request.request_id
+            )
+            offset = stop

@@ -198,3 +198,30 @@ class TestCloseReporting:
         release.set()
         assert batcher.close(timeout=5.0) is True
         assert future.result(timeout=5) == 1
+
+
+class TestWeightedSubmit:
+    def test_weight_counts_toward_max_batch(self):
+        batches = []
+
+        def handler(items):
+            batches.append(list(items))
+            return items
+
+        with MicroBatcher(handler, max_batch=8, max_linger_seconds=0.05) as batcher:
+            first = batcher.submit("bulk", weight=8)
+            second = batcher.submit("one", weight=2)
+            third = batcher.submit("more", weight=1)
+            assert first.result(timeout=5) == "bulk"
+            assert second.result(timeout=5) == "one"
+            assert third.result(timeout=5) == "more"
+        # The full-weight item saturated its batch and dispatched alone
+        # without lingering; items/largest_batch count weighted units.
+        assert batches[0] == ["bulk"]
+        assert batcher.items == 11
+        assert batcher.largest_batch == 8
+
+    def test_rejects_nonpositive_weight(self):
+        with MicroBatcher(lambda items: items) as batcher:
+            with pytest.raises(ValueError):
+                batcher.submit("x", weight=0)

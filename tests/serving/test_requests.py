@@ -2,13 +2,17 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.data.attributes import OrdinalAttribute
 from repro.data.schema import Schema
 from repro.errors import QueryError, ServingError
+from repro.queries.engine import BatchQueryAnswers
 from repro.serving.requests import (
+    BatchQueryResponse,
     ErrorResponse,
+    QueryBatchRequest,
     QueryRequest,
     QueryResponse,
     parse_request_line,
@@ -81,6 +85,157 @@ class TestQueryRequest:
             QueryRequest.from_dict([1, 2, 3])
         with pytest.raises(ServingError, match="ranges"):
             QueryRequest.from_dict({"release": "r", "ranges": [1]})
+
+    def test_rejects_non_integral_float_bounds(self):
+        # Regression: int(3.7) used to truncate a malformed bound to 3,
+        # silently answering a different box than the client sent.
+        with pytest.raises(ServingError, match="must be an integer"):
+            QueryRequest("r", {"X": (1, 3.7)})
+        with pytest.raises(ServingError, match="must be an integer"):
+            QueryRequest("r", {"X": (0.5, 3)})
+        with pytest.raises(ServingError, match="must be an integer"):
+            QueryRequest("r", {"X": (True, 3)})
+        with pytest.raises(ServingError, match="must be an integer"):
+            QueryRequest("r", time_range=(0.5, 2))
+
+    def test_integral_floats_still_accepted(self):
+        # JSON clients may well send 3.0 for 3; that is not malformed.
+        request = QueryRequest("r", {"X": (1.0, 3.0)}, time_range=(0.0, 2.0))
+        assert request.ranges == (("X", 1, 3),)
+        assert request.time_range == (0, 2)
+        assert all(isinstance(b, int) for b in request.ranges[0][1:])
+
+
+class TestQueryBatchRequest:
+    def _ranges(self):
+        return {"X": {"lo": [0, 2], "hi": [4, 2]}, "Y": {"lo": [1, 0], "hi": [3, 4]}}
+
+    def test_columns_decode_to_int64_arrays(self):
+        request = QueryBatchRequest("r", self._ranges())
+        assert len(request) == 2
+        assert request.names == ("X", "Y")
+        assert request.lows.dtype == np.int64 and request.lows.shape == (2, 2)
+        assert request.highs.tolist() == [[4, 3], [2, 4]]
+        assert not request.lows.flags.writeable
+
+    def test_names_sorted_for_plan_key(self):
+        request = QueryBatchRequest(
+            "r", {"Y": {"lo": [0], "hi": [1]}, "X": {"lo": [0], "hi": [1]}}
+        )
+        assert request.names == ("X", "Y")
+        assert request.plan_key == ("r", ("X", "Y"), None)
+
+    def test_accepts_pair_form_and_float_integral(self):
+        request = QueryBatchRequest("r", {"X": ([0.0, 1.0], [2.0, 3.0])})
+        assert request.lows.tolist() == [[0], [1]]
+
+    def test_rejects_non_integral_columns(self):
+        with pytest.raises(ServingError, match="integer"):
+            QueryBatchRequest("r", {"X": {"lo": [0.5], "hi": [2]}})
+        with pytest.raises(ServingError, match="integer|finite"):
+            QueryBatchRequest("r", {"X": {"lo": [float("nan")], "hi": [2]}})
+        with pytest.raises(ServingError, match="integer"):
+            QueryBatchRequest("r", {"X": {"lo": ["a"], "hi": [2]}})
+
+    def test_rejects_mismatched_and_empty_columns(self):
+        with pytest.raises(ServingError, match="length"):
+            QueryBatchRequest("r", {"X": {"lo": [0, 1], "hi": [2]}})
+        with pytest.raises(ServingError, match="at least one query row"):
+            QueryBatchRequest("r", {"X": {"lo": [], "hi": []}})
+        with pytest.raises(ServingError, match="ranges"):
+            QueryBatchRequest("r", {})
+
+    def test_rejects_bad_bounds_vectorized(self):
+        with pytest.raises(ServingError, match=r"invalid range \[-1, 2\).*row 0"):
+            QueryBatchRequest("r", {"X": {"lo": [-1], "hi": [2]}})
+        with pytest.raises(ServingError, match=r"invalid range \[3, 2\).*row 1"):
+            QueryBatchRequest("r", {"X": {"lo": [0, 3], "hi": [2, 2]}})
+
+    def test_rejects_bad_range_spec_shape(self):
+        with pytest.raises(ServingError, match="lo.*hi|hi.*lo"):
+            QueryBatchRequest("r", {"X": {"lo": [0]}})
+        with pytest.raises(ServingError, match="lo"):
+            QueryBatchRequest("r", {"X": [0, 1, 2]})
+
+    def test_bind_scatters_into_full_domain(self, schema):
+        request = QueryBatchRequest("r", {"Y": {"lo": [1], "hi": [3]}})
+        lows, highs = request.bind(schema)
+        assert lows.tolist() == [[0, 1]]
+        assert highs.tolist() == [[8, 3]]
+
+    def test_bind_rejects_out_of_domain(self, schema):
+        request = QueryBatchRequest("r", {"Y": {"lo": [0], "hi": [5]}})
+        with pytest.raises(ServingError, match="exceeds the domain"):
+            request.bind(schema)
+
+    def test_dict_round_trip(self):
+        request = QueryBatchRequest(
+            "r", self._ranges(), confidence=0.9, request_id=7
+        )
+        payload = json.loads(json.dumps(request.to_dict()))
+        again = QueryBatchRequest.from_dict(payload)
+        assert again.plan_key == request.plan_key
+        assert np.array_equal(again.lows, request.lows)
+        assert np.array_equal(again.highs, request.highs)
+        assert again.confidence == 0.9 and again.request_id == 7
+
+    def test_from_dict_rejects_unknown_fields_and_op(self):
+        with pytest.raises(ServingError, match="unknown"):
+            QueryBatchRequest.from_dict(
+                {"release": "r", "ranges": self._ranges(), "bogus": 1}
+            )
+        with pytest.raises(ServingError, match="op"):
+            QueryBatchRequest.from_dict(
+                {"release": "r", "ranges": self._ranges(), "op": "query"}
+            )
+
+    def test_parse_request_line_dispatches_on_op(self):
+        line = json.dumps(
+            {"op": "query_batch", "release": "r", "ranges": self._ranges()}
+        )
+        assert isinstance(parse_request_line(line), QueryBatchRequest)
+        assert isinstance(
+            parse_request_line('{"release": "r"}'), QueryRequest
+        )
+
+
+class TestBatchQueryResponse:
+    def _response(self):
+        answers = BatchQueryAnswers(
+            estimates=np.array([1.0, 2.0]),
+            noise_stds=np.array([0.5, 0.25]),
+            lowers=np.array([0.0, 1.5]),
+            uppers=np.array([2.0, 2.5]),
+            confidence=0.9,
+        )
+        return BatchQueryResponse.from_answers("r", answers, request_id=5)
+
+    def test_adopts_arrays_zero_copy(self):
+        answers = BatchQueryAnswers(
+            estimates=np.array([1.0]),
+            noise_stds=np.array([0.5]),
+            lowers=np.array([0.0]),
+            uppers=np.array([2.0]),
+            confidence=0.9,
+        )
+        response = BatchQueryResponse.from_answers("r", answers)
+        assert response.estimates is answers.estimates
+
+    def test_wire_shape_single_dump(self):
+        response = self._response()
+        payload = json.loads(response.to_json())
+        assert payload["ok"] is True and payload["id"] == 5
+        assert payload["count"] == 2
+        assert payload["estimates"] == [1.0, 2.0]
+        assert payload["noise_stds"] == [0.5, 0.25]
+
+    def test_indexing_yields_scalar_responses(self):
+        response = self._response()
+        assert len(response) == 2
+        first = response[0]
+        assert isinstance(first, QueryResponse)
+        assert first.estimate == 1.0 and first.confidence == 0.9
+        assert [r.estimate for r in response] == [1.0, 2.0]
 
 
 class TestResponses:

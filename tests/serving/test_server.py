@@ -269,3 +269,70 @@ class TestCloseReporting:
         release.set()
         assert server.close(timeout=5.0) is True
         assert future.result(timeout=5).release == "census"
+
+
+class TestColumnarServing:
+    def test_mixed_scalar_and_columnar_in_one_session(self, server):
+        from repro.serving.requests import QueryBatchRequest
+
+        batch_future = server.submit(
+            QueryBatchRequest("census", {"Age": {"lo": [10], "hi": [40]}})
+        )
+        scalar_future = server.submit(QueryRequest("census", {"Age": (10, 40)}))
+        batch, scalar = batch_future.result(), scalar_future.result()
+        assert batch.estimates[0] == scalar.estimate
+        assert batch.noise_stds[0] == scalar.noise_std
+        assert batch.lowers[0] == scalar.lower
+        assert batch.uppers[0] == scalar.upper
+
+    def test_submit_columnar_rejects_scalar_request(self, server):
+        with pytest.raises(ServingError, match="QueryBatchRequest"):
+            server.submit_columnar(QueryRequest("census"))
+        with pytest.raises(ServingError, match="QueryRequest"):
+            server.submit(object())
+
+    def test_columnar_batch_counts_rows_toward_max_batch(self, census_result):
+        from repro.serving.requests import QueryBatchRequest
+
+        with ReleaseServer(max_batch=8, max_linger_seconds=0.001) as srv:
+            srv.register("census", census_result)
+            request = QueryBatchRequest(
+                "census", {"Age": {"lo": [0] * 6, "hi": [10] * 6}}
+            )
+            srv.query_columnar(request)
+            assert srv._batcher.items == 6
+            assert srv._batcher.largest_batch == 6
+
+    def test_columnar_error_isolated_per_wire_item(self, server):
+        from repro.serving.requests import QueryBatchRequest
+
+        bad = server.submit(
+            QueryBatchRequest("census", {"Age": {"lo": [0], "hi": [500]}})
+        )
+        good = server.submit(
+            QueryBatchRequest("census", {"Age": {"lo": [0], "hi": [10]}})
+        )
+        with pytest.raises(ServingError, match="exceeds the domain"):
+            bad.result()
+        assert len(good.result()) == 1
+
+    def test_refresh_invalidates_plans(self, tmp_path, census_result):
+        from repro.serving.requests import QueryBatchRequest
+
+        path = tmp_path / "census.npz"
+        save_result(path, census_result)
+        with ReleaseServer(max_linger_seconds=0.001) as srv:
+            srv.register_archive(path)
+            srv.query_columnar(
+                QueryBatchRequest("census", {"Age": {"lo": [0], "hi": [10]}})
+            )
+            assert len(srv.plan_cache) == 1
+            # Touch the archive so the registry re-opens it on refresh.
+            save_result(path, census_result)
+            assert srv.refresh("census") is True
+            assert len(srv.plan_cache) == 0
+            # The next batch recompiles against the fresh engine.
+            srv.query_columnar(
+                QueryBatchRequest("census", {"Age": {"lo": [0], "hi": [10]}})
+            )
+            assert srv.plan_cache.misses == 2

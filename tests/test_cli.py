@@ -796,3 +796,177 @@ class TestStreamingCommandGuards:
         code = main(["ingest", str(archive), "--scale", "0.05", "--rows", "10"])
         assert code == 2
         assert staging.read_bytes() == before
+
+
+class TestColumnarCli:
+    """The columnar fast path over the CLI: query --columnar and
+    op=query_batch on the JSONL serving loop."""
+
+    @pytest.fixture
+    def archive(self, tmp_path, capsys):
+        path = tmp_path / "br.npz"
+        assert (
+            main(
+                [
+                    "publish",
+                    str(path),
+                    "--scale",
+                    "0.05",
+                    "--rows",
+                    "1000",
+                    "--representation",
+                    "coefficients",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return path
+
+    def _serve(self, monkeypatch, capsys, argv, lines):
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        code = main(argv)
+        captured = capsys.readouterr()
+        responses = [
+            json.loads(line)
+            for line in captured.out.splitlines()
+            if line.strip()
+        ]
+        return code, responses, captured.err
+
+    def test_query_columnar_prints_identical_answers(self, archive, capsys):
+        assert main(["query", str(archive), "--queries", "6", "--seed", "4"]) == 0
+        scalar_out = capsys.readouterr().out
+        assert (
+            main(
+                ["query", str(archive), "--queries", "6", "--seed", "4",
+                 "--columnar"]
+            )
+            == 0
+        )
+        columnar_out = capsys.readouterr().out
+        assert "columnar path" in columnar_out
+        # Everything but the header line — every estimate, std, and
+        # interval digit — is identical between the two paths.
+        assert scalar_out.splitlines()[1:] == columnar_out.splitlines()[1:]
+
+    def test_serve_query_batch_round_trip(self, archive, monkeypatch, capsys):
+        batch = {
+            "op": "query_batch",
+            "id": 1,
+            "release": "br",
+            "ranges": {"Age": {"lo": [10, 0, 5], "hi": [40, 101, 5]}},
+        }
+        scalar = '{"id": 2, "release": "br", "ranges": {"Age": [10, 40]}}'
+        code, responses, err = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archive)],
+            [json.dumps(batch), scalar],
+        )
+        assert code == 0
+        assert [r["id"] for r in responses] == [1, 2]
+        assert responses[0]["ok"] is True
+        assert responses[0]["count"] == 3
+        assert len(responses[0]["estimates"]) == 3
+        # Row 0 of the batch is the same box the scalar request asks.
+        assert responses[0]["estimates"][0] == responses[1]["estimate"]
+        assert responses[0]["noise_stds"][0] == responses[1]["noise_std"]
+        assert responses[0]["lowers"][0] == responses[1]["lower"]
+        assert responses[0]["uppers"][0] == responses[1]["upper"]
+        # Degenerate row answers exactly zero.
+        assert responses[0]["estimates"][2] == 0.0
+        assert responses[0]["noise_stds"][2] == 0.0
+        assert "served 2 request(s)" in err
+
+    def test_serve_batch_errors_are_structured(self, archive, monkeypatch, capsys):
+        lines = [
+            json.dumps(
+                {
+                    "op": "query_batch",
+                    "id": 1,
+                    "release": "br",
+                    "ranges": {"Bogus": {"lo": [0], "hi": [1]}},
+                }
+            ),
+            json.dumps(
+                {
+                    "op": "query_batch",
+                    "id": 2,
+                    "release": "br",
+                    "ranges": {"Age": {"lo": [0], "hi": [500]}},
+                }
+            ),
+            json.dumps(
+                {
+                    "op": "query_batch",
+                    "id": 3,
+                    "release": "br",
+                    "ranges": {"Age": {"lo": [0.5], "hi": [1]}},
+                }
+            ),
+            json.dumps(
+                {
+                    "op": "query_batch",
+                    "id": 4,
+                    "release": "br",
+                    "ranges": {"Age": {"lo": [0], "hi": [10]}},
+                }
+            ),
+        ]
+        code, responses, _ = self._serve(
+            monkeypatch, capsys, ["serve", str(archive)], lines
+        )
+        assert code == 0
+        assert [r["id"] for r in responses] == [1, 2, 3, 4]
+        assert [r["ok"] for r in responses] == [False, False, False, True]
+        assert all(r["code"] == "bad-request" for r in responses[:3])
+
+    def test_serve_rejects_non_integral_scalar_bounds(
+        self, archive, monkeypatch, capsys
+    ):
+        """Regression: a float bound used to silently truncate (39.7 ->
+        39) and answer the wrong box; the JSONL loop must reject it."""
+        code, responses, _ = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archive)],
+            [
+                '{"id": 1, "release": "br", "ranges": {"Age": [10, 39.7]}}',
+                '{"id": 2, "release": "br", "ranges": {"Age": [10, 39.0]}}',
+            ],
+        )
+        assert code == 0
+        assert responses[0]["ok"] is False
+        assert responses[0]["code"] == "bad-request"
+        assert "must be an integer" in responses[0]["error"]
+        # An integral float is fine JSON and still served.
+        assert responses[1]["ok"] is True
+
+    def test_serve_stats_show_plan_cache(self, archive, monkeypatch, capsys):
+        batch = json.dumps(
+            {
+                "op": "query_batch",
+                "id": 1,
+                "release": "br",
+                "ranges": {"Age": {"lo": [0, 1], "hi": [10, 11]}},
+            }
+        )
+        code, responses, _ = self._serve(
+            monkeypatch,
+            capsys,
+            ["serve", str(archive)],
+            [batch, batch.replace('"id": 1', '"id": 2'), '{"op": "stats"}'],
+        )
+        assert code == 0
+        stats = responses[-1]["stats"]
+        # One compiled shape either way; whether the second batch shows
+        # as a hit depends on whether the two coalesced into one
+        # micro-batch group (one lookup) or arrived separately (two).
+        assert stats["plan_cache_misses"] == 1
+        assert stats["plan_cache_hits"] in (0, 1)
+        assert stats["plan_cache_evictions"] == 0
+        assert stats["columnar_rows"] == 4
+        assert stats["requests"] == 4

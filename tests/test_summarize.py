@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from benchmarks.summarize import headline_metrics, main, summarize
+from benchmarks.summarize import (
+    headline_metrics,
+    main,
+    serving_engine_ratio,
+    summarize,
+)
 
 
 @pytest.fixture
@@ -52,12 +57,27 @@ class TestHeadlineMetrics:
         ]
 
 
+class TestServingEngineRatio:
+    def test_finds_nested_leaf(self):
+        payload = {
+            "provenance": {"serving_vs_engine_qps_ratio": 9.9},
+            "columnar": {"serving_vs_engine_qps_ratio": 0.88},
+        }
+        assert serving_engine_ratio(payload) == 0.88
+
+    def test_none_when_absent(self, results_dir):
+        payload = json.loads((results_dir / "BENCH_alpha.json").read_text())
+        assert serving_engine_ratio(payload) is None
+
+
 class TestSummarize:
     def test_table_shape_and_content(self, results_dir):
         table = summarize(results_dir.glob("BENCH_*.json"))
         lines = table.strip().splitlines()
         assert lines[0] == "## Benchmark summary"
-        assert lines[2] == "| benchmark | headline | mode | commit |"
+        assert lines[2] == (
+            "| benchmark | headline | serving/engine qps | mode | commit |"
+        )
         assert any(
             line.startswith("| alpha |") and "3.50x" in line and "abc1234" in line
             for line in lines
@@ -66,6 +86,30 @@ class TestSummarize:
             line.startswith("| beta |") and "5,000,000" in line and "full" in line
             for line in lines
         )
+
+    def test_serving_engine_ratio_column(self, results_dir):
+        (results_dir / "BENCH_gamma.json").write_text(
+            json.dumps(
+                {
+                    "smoke": False,
+                    "provenance": {"commit": "aaa0000"},
+                    "columnar": {
+                        "columnar_qps_at_256": 28_000.0,
+                        "serving_vs_engine_qps_ratio": 0.88,
+                    },
+                }
+            )
+        )
+        table = summarize(results_dir.glob("BENCH_*.json"))
+        gamma = next(
+            line for line in table.splitlines() if line.startswith("| gamma |")
+        )
+        assert "| 0.88 |" in gamma
+        # Benchmarks that do not measure the ratio leave the cell blank.
+        alpha = next(
+            line for line in table.splitlines() if line.startswith("| alpha |")
+        )
+        assert "| — |" in alpha
 
     def test_unreadable_file_is_flagged_not_fatal(self, results_dir):
         (results_dir / "BENCH_broken.json").write_text("{not json")
