@@ -29,7 +29,13 @@ import os
 import pathlib
 import sys
 
-__all__ = ["headline_metrics", "serving_engine_ratio", "summarize", "main"]
+__all__ = [
+    "headline_metrics",
+    "serving_engine_ratio",
+    "summarize",
+    "tail_latency_ms",
+    "main",
+]
 
 #: Dotted-path substrings that make a numeric leaf a headline metric,
 #: in preference order.
@@ -43,6 +49,10 @@ def _numeric_leaves(payload, prefix: str = ""):
     if isinstance(payload, dict):
         for key, value in payload.items():
             path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _numeric_leaves(value, path)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            path = f"{prefix}.{index}" if prefix else str(index)
             yield from _numeric_leaves(value, path)
     elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
         yield prefix, float(payload)
@@ -96,6 +106,34 @@ def serving_engine_ratio(payload: dict) -> float | None:
     return None
 
 
+def tail_latency_ms(payload: dict) -> float | None:
+    """The payload's worst reported p99 latency, in milliseconds.
+
+    Parameters
+    ----------
+    payload:
+        A decoded ``results/BENCH_*.json`` object.  Every numeric leaf
+        whose name starts with ``p99`` counts (provenance excluded):
+        ``*_ms`` leaves are taken as milliseconds, ``*_seconds`` leaves
+        are converted, and the worst (largest) value across all runs in
+        the payload is returned — a fleet is only as good as its
+        slowest percentile.  ``None`` when no p99 is reported.
+    """
+    body = {k: v for k, v in payload.items() if k != "provenance"}
+    worst = None
+    for path, value in _numeric_leaves(body):
+        leaf = path.rsplit(".", 1)[-1]
+        if not leaf.startswith("p99"):
+            continue
+        if leaf.endswith("_seconds"):
+            value *= 1e3
+        elif not leaf.endswith("_ms"):
+            continue
+        if worst is None or value > worst:
+            worst = value
+    return worst
+
+
 def summarize(paths) -> str:
     """A GitHub-flavoured markdown table over BENCH json files.
 
@@ -117,7 +155,7 @@ def summarize(paths) -> str:
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            rows.append((name, f"unreadable: {exc}", "?", "?", "?"))
+            rows.append((name, f"unreadable: {exc}", "?", "?", "?", "?"))
             continue
         metrics = headline_metrics(payload)
         headline = (
@@ -129,20 +167,24 @@ def summarize(paths) -> str:
         )
         ratio = serving_engine_ratio(payload)
         ratio_cell = f"{ratio:.2f}" if ratio is not None else "—"
+        p99 = tail_latency_ms(payload)
+        p99_cell = f"{p99:.2f} ms" if p99 is not None else "—"
         provenance = payload.get("provenance", {})
         commit = str(provenance.get("commit", "?"))
         mode = "smoke" if payload.get("smoke") else "full"
-        rows.append((name, headline, ratio_cell, mode, commit))
+        rows.append((name, headline, ratio_cell, p99_cell, mode, commit))
     lines = [
         "## Benchmark summary",
         "",
-        "| benchmark | headline | serving/engine qps | mode | commit |",
-        "|---|---|---|---|---|",
+        "| benchmark | headline | serving/engine qps | worst p99 | mode | commit |",
+        "|---|---|---|---|---|---|",
     ]
     if not rows:
-        lines.append("| _none found_ | | | | |")
-    for name, headline, ratio_cell, mode, commit in rows:
-        lines.append(f"| {name} | {headline} | {ratio_cell} | {mode} | {commit} |")
+        lines.append("| _none found_ | | | | | |")
+    for name, headline, ratio_cell, p99_cell, mode, commit in rows:
+        lines.append(
+            f"| {name} | {headline} | {ratio_cell} | {p99_cell} | {mode} | {commit} |"
+        )
     return "\n".join(lines) + "\n"
 
 

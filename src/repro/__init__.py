@@ -63,7 +63,14 @@ from repro.core import (
     shard_bounds,
     shard_seeds,
 )
-from repro.io import ResultHandle, load_result, open_result, save_result
+from repro.io import (
+    ResultHandle,
+    load_result,
+    open_result,
+    result_from_parts,
+    result_to_parts,
+    save_result,
+)
 from repro.data import (
     BRAZIL,
     US,
@@ -112,6 +119,8 @@ from repro.queries import (
 from repro.serving import (
     BatchQueryResponse,
     ErrorResponse,
+    LatencyRecorder,
+    NetworkServer,
     PlanCache,
     QueryBatchRequest,
     QueryRequest,
@@ -119,6 +128,12 @@ from repro.serving import (
     ReleaseRegistry,
     ReleaseServer,
     ServerStats,
+    ShmAttachment,
+    ShmPublication,
+    attach_result_from_shm,
+    merge_worker_stats,
+    publish_result_to_shm,
+    sweep_stale_segments,
 )
 from repro.streaming import StreamingPublisher, StreamRelease, dyadic_cover
 from repro.transforms import HaarTransform, HNTransform, NominalTransform
@@ -191,6 +206,8 @@ __all__ = [
     "load_result",
     "open_result",
     "ResultHandle",
+    "result_to_parts",
+    "result_from_parts",
     # queries
     "RangeCountQuery",
     "interval_predicate",
@@ -230,4 +247,12 @@ __all__ = [
     "BatchQueryResponse",
     "PlanCache",
     "ErrorResponse",
+    "NetworkServer",
+    "LatencyRecorder",
+    "merge_worker_stats",
+    "ShmPublication",
+    "ShmAttachment",
+    "publish_result_to_shm",
+    "attach_result_from_shm",
+    "sweep_stale_segments",
 ]

@@ -53,6 +53,7 @@ import dataclasses
 import json
 import os
 import queue
+import signal
 import sys
 import threading
 from collections import deque
@@ -79,6 +80,7 @@ from repro.experiments.reporting import format_accuracy_run, format_timing_run
 from repro.io import load_result, read_stream_header, save_result
 from repro.queries.engine import QueryEngine
 from repro.queries.workload import generate_workload
+from repro.serving.network import NetworkServer
 from repro.serving.requests import ErrorResponse, QueryBatchRequest, QueryRequest
 from repro.serving.server import ReleaseServer
 from repro.streaming import StreamingPublisher
@@ -242,13 +244,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--stdin-jsonl",
         action="store_true",
         help="read JSONL requests from stdin and write JSONL responses "
-        "to stdout (the default and only transport)",
+        "to stdout (the default transport)",
     )
     serve.add_argument(
         "--port-less",
         action="store_true",
-        help="serve without opening a socket (always true; stdio is the "
-        "transport, put a network front in front of it if you need one)",
+        help="serve without opening a socket (stdio transport; the "
+        "default unless --tcp is given)",
+    )
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the same JSONL protocol over TCP through a "
+        "multi-process shared-memory fleet (port 0 picks a free port; "
+        "the resolved address is printed on stderr as "
+        "'listening on HOST:PORT')",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes behind --tcp (each maps the published "
+        "releases from shared memory, zero copy)",
     )
     serve.add_argument("--max-batch", type=int, default=256)
     serve.add_argument(
@@ -663,7 +681,79 @@ def _parse_archive_spec(spec: str) -> tuple[str | None, str]:
     return None, spec
 
 
+def _parse_tcp_spec(spec: str) -> tuple[str, int]:
+    """Split ``--tcp HOST:PORT`` (empty host means loopback)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "", spec
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ReproError(
+            f"--tcp expects HOST:PORT with an integer port, got {spec!r}"
+        ) from None
+
+
+def _serve_tcp(args) -> int:
+    """Run the multi-process TCP fleet until SIGTERM/SIGINT, then drain."""
+    host, port = _parse_tcp_spec(args.tcp)
+    server = NetworkServer(
+        host=host,
+        port=port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_linger_seconds=args.linger_ms / 1000.0,
+        profile_cache_entries=args.profile_cache,
+        representation=None if args.representation == "archive" else args.representation,
+        sa_names=tuple(args.sa) if args.sa is not None else None,
+    )
+    for spec in args.archives:
+        name, path = _parse_archive_spec(spec)
+        server.register_archive(path, name=name)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, _on_signal)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        bound_host, bound_port = server.start()
+        # Parseable readiness line: supervisors (and the tests) wait for it.
+        print(
+            f"listening on {bound_host}:{bound_port} with {args.workers} "
+            f"worker(s); releases {list(server.names)}",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop.wait()
+        try:
+            stats = server.stats()
+        except Exception:  # noqa: BLE001 - summary is best effort
+            stats = None
+        # SIGTERM contract: stop accepting, flush every response already
+        # owed to connected clients, then stop the workers.
+        server.close(drain=True)
+    finally:
+        server.close(drain=False)
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    if stats is not None:
+        print(
+            f"served {stats['requests']} request(s) across "
+            f"{stats['workers']} worker(s); p99 latency "
+            f"{stats['p99_latency_seconds'] * 1e3:.2f} ms, "
+            f"{stats['frontend']['worker_respawns']} respawn(s)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_serve(args) -> int:
+    if args.tcp is not None:
+        return _serve_tcp(args)
     server = ReleaseServer(
         max_batch=args.max_batch,
         max_linger_seconds=args.linger_ms / 1000.0,

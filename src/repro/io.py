@@ -77,6 +77,8 @@ from repro.streaming.release import StreamNode, StreamRelease, stream_result
 __all__ = [
     "save_result",
     "load_result",
+    "result_to_parts",
+    "result_from_parts",
     "open_result",
     "ResultHandle",
     "schema_to_dict",
@@ -164,20 +166,31 @@ def _shard_array_key(index: int, representation: str) -> str:
     return f"shard{index}_{payload}"
 
 
-def save_result(path, result: PublishResult) -> None:
-    """Write a published result to ``path`` (``.npz`` archive).
+def result_to_parts(result: PublishResult) -> tuple[dict, dict]:
+    """Split a result into a JSON header plus its raw array payloads.
 
-    Dense releases write the v1 layout; coefficient releases the v2
-    layout (coefficients + SA set, no dense matrix); sharded releases
-    the v3 layout (a manifest plus one array member per shard, each in
-    that shard's own representation); stream releases the v4 layout as
-    a one-shot snapshot of the whole tree (every node loads; prefer the
-    publisher's own append path for live streams — and note a snapshot
-    records no base seed, so resuming it draws fresh entropy).
+    This is the archive layout without the archive: the same
+    ``(header, arrays)`` pair :func:`save_result` persists, usable
+    anywhere the two halves travel separately — e.g. the shared-memory
+    publisher, which ships the header as a JSON manifest and each array
+    as a named segment.  :func:`result_from_parts` inverts it exactly.
+
+    Parameters
+    ----------
+    result:
+        Any :class:`PublishResult` (dense, coefficient, sharded, or
+        stream release).
+
+    Returns
+    -------
+    tuple
+        ``(header, arrays)`` — ``header`` is JSON-serializable (for a
+        stream the versioned manifest is embedded under
+        ``header["manifest"]``), ``arrays`` maps archive member names to
+        ``np.ndarray`` payloads.
     """
     if isinstance(result.release, StreamRelease):
-        _save_stream_result(path, result)
-        return
+        return _stream_parts(result)
     header = {
         "schema": schema_to_dict(result.release.schema),
         "epsilon": result.epsilon,
@@ -229,6 +242,24 @@ def save_result(path, result: PublishResult) -> None:
         header["format"] = _FORMAT_VERSION
         header["representation"] = "dense"
         arrays = {"values": release.to_matrix().values}
+    return header, arrays
+
+
+def save_result(path, result: PublishResult) -> None:
+    """Write a published result to ``path`` (``.npz`` archive).
+
+    Dense releases write the v1 layout; coefficient releases the v2
+    layout (coefficients + SA set, no dense matrix); sharded releases
+    the v3 layout (a manifest plus one array member per shard, each in
+    that shard's own representation); stream releases the v4 layout as
+    a one-shot snapshot of the whole tree (every node loads; prefer the
+    publisher's own append path for live streams — and note a snapshot
+    records no base seed, so resuming it draws fresh entropy).
+    """
+    header, arrays = result_to_parts(result)
+    if header.get("representation") == "stream":
+        _write_stream_snapshot(path, header, arrays)
+        return
     np.savez_compressed(
         path,
         header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
@@ -636,15 +667,14 @@ def _stream_release(path, archive, header: dict) -> tuple[StreamRelease, dict]:
     return release, manifest
 
 
-def _stream_result(path, archive, header: dict) -> PublishResult:
-    """Rebuild a v4 archive's :class:`PublishResult` (manifest accounting).
+def _stream_accounting(release, manifest: dict, header: dict) -> PublishResult:
+    """A stream release's :class:`PublishResult` (manifest accounting).
 
     Delegates the leaf aggregation to
     :func:`repro.streaming.release.stream_result` — the same convention
     :meth:`StreamingPublisher.result` uses — so archive-loaded and
     in-process stream results can never disagree on accounting.
     """
-    release, manifest = _stream_release(path, archive, header)
     leaves = [
         SimpleNamespace(
             epsilon=float(entry["epsilon"]),
@@ -664,11 +694,21 @@ def _stream_result(path, archive, header: dict) -> PublishResult:
     )
 
 
-def _save_stream_result(path, result: PublishResult) -> None:
-    """One-shot v4 snapshot of a stream result's whole node tree."""
+def _stream_result(path, archive, header: dict) -> PublishResult:
+    """Rebuild a v4 archive's :class:`PublishResult`."""
+    release, manifest = _stream_release(path, archive, header)
+    return _stream_accounting(release, manifest, header)
+
+
+def _stream_parts(result: PublishResult) -> tuple[dict, dict]:
+    """The ``(header, arrays)`` form of a stream result's whole tree.
+
+    The manifest rides inside ``header["manifest"]`` (an archive stores
+    it as a separate versioned member instead).
+    """
     release = result.release
     entries = []
-    payloads = {}
+    arrays = {}
     for (level, index), node in sorted(release.nodes.items()):
         node_result = node.result()
         node_release = node_result.release
@@ -682,7 +722,7 @@ def _save_stream_result(path, result: PublishResult) -> None:
             "variance_bound": node_result.variance_bound,
             "sa": list(release.sa_names),
         }
-        payloads[stream_node_key(level, index)] = _node_payload(node_release)
+        arrays[stream_node_key(level, index)] = _node_payload(node_release)
         entries.append(entry)
     header = {
         "format": _STREAM_FORMAT_VERSION,
@@ -696,15 +736,94 @@ def _save_stream_result(path, result: PublishResult) -> None:
         "mechanism_name": str(result.details.get("mechanism", "stream")),
         "seed": None,
         "node_representation": entries[0]["representation"] if entries else "coefficients",
+        "manifest": {"epochs": release.epochs, "nodes": entries},
     }
-    manifest = {"epochs": release.epochs, "nodes": entries}
+    return header, arrays
+
+
+def _write_stream_snapshot(path, header: dict, arrays: dict) -> None:
+    """One-shot v4 archive from :func:`_stream_parts` output."""
+    header = dict(header)
+    manifest = header.pop("manifest")
     with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_STORED) as archive:
         archive.writestr("header.npy", _json_member(header))
-        for member, payload in payloads.items():
+        for member, payload in arrays.items():
             archive.writestr(member + ".npy", _npy_bytes(payload))
         archive.writestr(
-            f"{_MANIFEST_PREFIX}{release.epochs}.npy", _json_member(manifest)
+            f"{_MANIFEST_PREFIX}{manifest['epochs']}.npy", _json_member(manifest)
         )
+
+
+class _ArrayMapping:
+    """Adapt a plain ``{member: array}`` dict to the ``np.load`` shape
+    (``.files`` + ``__getitem__``) the eager reconstruction paths read."""
+
+    def __init__(self, arrays: dict):
+        self._arrays = arrays
+
+    @property
+    def files(self):
+        return list(self._arrays)
+
+    def __getitem__(self, key):
+        return self._arrays[key]
+
+
+def result_from_parts(header: dict, arrays: dict) -> PublishResult:
+    """Rebuild a :class:`PublishResult` from :func:`result_to_parts`.
+
+    Reconstruction is **eager** (every array is already in hand) and
+    reuses the archive-loading code paths, so a result round-tripped
+    through parts answers every query bit-for-bit like the original —
+    the guarantee the shared-memory serving workers rely on.
+
+    Parameters
+    ----------
+    header:
+        The JSON header half of :func:`result_to_parts`.
+    arrays:
+        The array payloads half; shared-memory consumers pass read-only
+        views mapped straight from the published segments.
+    """
+    format_version = header.get("format", _FORMAT_VERSION)
+    try:
+        if format_version == _STREAM_FORMAT_VERSION:
+            schema = schema_from_dict(header["schema"])
+            manifest = header["manifest"]
+            entries = manifest["nodes"]
+            if entries:
+                sa = tuple(entries[0]["sa"])
+            else:
+                sa = tuple(header.get("mechanism", {}).get("sa", ()))
+            nodes = stream_nodes_from_manifest(
+                None, schema, manifest, archive=_ArrayMapping(arrays)
+            )
+            release = StreamRelease(schema, sa, int(manifest["epochs"]), nodes)
+            return _stream_accounting(release, manifest, header)
+        if format_version == _SHARDED_FORMAT_VERSION:
+            release = _sharded_release(None, _ArrayMapping(arrays), header)
+        elif format_version == _COEFFICIENT_FORMAT_VERSION:
+            release = CoefficientRelease(
+                schema_from_dict(header["schema"]),
+                tuple(header["sa"]),
+                arrays["coefficients"],
+            )
+        elif format_version == _FORMAT_VERSION:
+            release = DenseRelease(
+                FrequencyMatrix(schema_from_dict(header["schema"]), arrays["values"])
+            )
+        else:
+            raise ReproError(f"unsupported result format {format_version!r}")
+    except KeyError as exc:
+        raise ReproError(f"incomplete result parts: missing {exc}") from exc
+    return PublishResult(
+        release=release,
+        epsilon=float(header["epsilon"]),
+        noise_magnitude=float(header["noise_magnitude"]),
+        generalized_sensitivity=float(header["generalized_sensitivity"]),
+        variance_bound=float(header["variance_bound"]),
+        details=header.get("details", {}),
+    )
 
 
 def load_result(path) -> PublishResult:

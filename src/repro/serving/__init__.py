@@ -20,13 +20,22 @@ package is about sustained traffic across *many* releases.  The pieces
 * :class:`~repro.serving.plans.PlanCache` — compiled per-shape plans
   the columnar path reuses across batches;
 * :class:`~repro.serving.server.ReleaseServer` — the composition, with
-  per-release locks and hit-rate/batch/latency stats.
+  per-release locks and hit-rate/batch/latency stats;
+* :mod:`~repro.serving.shm` — publish-once shared-memory segments that
+  worker processes map zero copy;
+* :class:`~repro.serving.stats.LatencyRecorder` /
+  :func:`~repro.serving.stats.merge_worker_stats` — thread-safe latency
+  windows and cross-worker stat aggregation;
+* :class:`~repro.serving.network.NetworkServer` — the multi-process TCP
+  front door (``python -m repro serve --tcp``), fault-isolated workers
+  over the shared segments.
 
 See ``docs/ARCHITECTURE.md`` for where this layer sits in the system.
 """
 
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import LRUProfileCache
+from repro.serving.network import NetworkServer
 from repro.serving.plans import CompiledPlan, PlanCache
 from repro.serving.registry import ReleaseRegistry
 from repro.serving.requests import (
@@ -38,13 +47,23 @@ from repro.serving.requests import (
     parse_request_line,
 )
 from repro.serving.server import ReleaseServer, ServerStats
+from repro.serving.shm import (
+    ShmAttachment,
+    ShmPublication,
+    attach_result_from_shm,
+    publish_result_to_shm,
+    sweep_stale_segments,
+)
+from repro.serving.stats import LatencyRecorder, merge_worker_stats
 
 __all__ = [
     "BatchQueryResponse",
     "CompiledPlan",
     "ErrorResponse",
     "LRUProfileCache",
+    "LatencyRecorder",
     "MicroBatcher",
+    "NetworkServer",
     "PlanCache",
     "QueryBatchRequest",
     "QueryRequest",
@@ -52,5 +71,11 @@ __all__ = [
     "ReleaseRegistry",
     "ReleaseServer",
     "ServerStats",
+    "ShmAttachment",
+    "ShmPublication",
+    "attach_result_from_shm",
+    "merge_worker_stats",
     "parse_request_line",
+    "publish_result_to_shm",
+    "sweep_stale_segments",
 ]

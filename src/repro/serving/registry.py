@@ -112,6 +112,31 @@ class ReleaseRegistry:
             self._entries[name] = _Entry(handle=handle)
         return name
 
+    def replace(self, name: str, result: PublishResult) -> None:
+        """Swap an existing entry's result in place (atomic per entry).
+
+        Unlike :meth:`register`, the name must already exist — this is
+        the deliberate "change answers under traffic" path, used when a
+        live stream republishes (the shared-memory worker re-attaches
+        its segments through this).  The entry becomes in-memory; a
+        previously archive-backed handle is dropped.
+
+        Parameters
+        ----------
+        name:
+            A registered release name.
+        result:
+            The replacement result to serve from now on.
+        """
+        if not isinstance(result, PublishResult):
+            raise ServingError(
+                f"can only register a PublishResult, got {type(result).__name__}"
+            )
+        entry = self._entry(name)
+        with entry.lock:
+            entry.result = result
+            entry.handle = None
+
     def refresh(self, name: str) -> bool:
         """Re-resolve an archive-backed entry from its file on disk.
 

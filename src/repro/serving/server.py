@@ -32,7 +32,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
-from collections import OrderedDict, deque
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,6 +44,7 @@ from repro.serving.batching import MicroBatcher
 from repro.serving.cache import LRUProfileCache
 from repro.serving.plans import PlanCache
 from repro.serving.registry import ReleaseRegistry
+from repro.serving.stats import LatencyRecorder
 from repro.serving.requests import (
     BatchQueryResponse,
     QueryBatchRequest,
@@ -164,7 +165,7 @@ class ReleaseServer:
         self._window_engines: OrderedDict = OrderedDict()
         self._max_window_engines = int(window_engine_cache)
         self._engines_lock = threading.RLock()
-        self._latencies: deque = deque(maxlen=int(latency_window))
+        self._latency = LatencyRecorder(window=latency_window)
         self._requests = 0
         self._errors = 0
         self._columnar_rows = 0
@@ -273,6 +274,31 @@ class ReleaseServer:
                 while len(self._window_engines) > self._max_window_engines:
                     self._window_engines.popitem(last=False)
             return engine
+
+    def replace(self, name: str, result) -> None:
+        """Swap release ``name``'s in-memory result and drop its engines.
+
+        The registry swap happens under the entry's lock, so requests
+        already holding the old engine finish against it and the next
+        request builds a fresh engine from ``result``.  This is the
+        in-memory analogue of :meth:`refresh` — the network worker uses
+        it when the parent republishes a stream's shared-memory
+        segments.
+
+        Parameters
+        ----------
+        name:
+            A registered release name.
+        result:
+            The replacement :class:`~repro.core.framework.PublishResult`.
+        """
+        with self._registry.lock_for(name):
+            self._registry.replace(name, result)
+            with self._engines_lock:
+                self._engines.pop(name, None)
+                for key in [k for k in self._window_engines if k[0] == name]:
+                    del self._window_engines[key]
+            self._plan_cache.invalidate(name)
 
     def refresh(self, name: str) -> bool:
         """Re-resolve an archive-backed release and swap its engines.
@@ -461,12 +487,7 @@ class ReleaseServer:
         evictions = sum(
             getattr(engine.profile_cache, "evictions", 0) for engine in engines
         )
-        latencies = np.asarray(self._latencies, dtype=np.float64)
-        p50, p99 = (
-            (float(np.percentile(latencies, 50)), float(np.percentile(latencies, 99)))
-            if latencies.size
-            else (0.0, 0.0)
-        )
+        p50, p99 = self._latency.percentiles()
         return ServerStats(
             releases=self.names,
             engines_built=len(engines),
@@ -488,6 +509,16 @@ class ReleaseServer:
             p99_latency_seconds=p99,
             linger_seconds=self._batcher.linger_seconds,
         )
+
+    def latency_samples(self) -> list:
+        """The current latency window's raw samples (seconds).
+
+        The network front-end ships these across the worker pipe so
+        :func:`~repro.serving.stats.merge_worker_stats` can compute
+        fleet-wide percentiles from pooled samples instead of averaging
+        per-worker percentiles.
+        """
+        return self._latency.samples()
 
     def close(self, *, timeout: float = 5.0) -> bool:
         """Stop the batching thread; later submits raise ``closed``.
@@ -589,7 +620,7 @@ class ReleaseServer:
                 )
         now = time.monotonic()
         for result, (_, enqueued) in zip(results, payloads):
-            self._latencies.append(now - enqueued)
+            self._latency.record_latency(now - enqueued)
             if isinstance(result, Exception):
                 self._errors += 1
             elif isinstance(result, BatchQueryResponse):

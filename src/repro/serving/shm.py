@@ -1,0 +1,342 @@
+"""Zero-copy release publication over ``multiprocessing.shared_memory``.
+
+Releases are immutable once published — the whole point of the paper's
+publish-once model — which makes them ideal for multi-process serving:
+the parent process copies each release's arrays into named shared-memory
+segments **once**, and every worker maps them read-only with no pickling
+and no per-worker copy of the coefficient tensors.
+
+The split rides on :func:`repro.io.result_to_parts`: the JSON-able
+header travels over the worker pipe as a **manifest** (header + one
+``{key, segment, dtype, shape}`` row per array), and the worker rebuilds
+the exact same :class:`~repro.core.framework.PublishResult` via
+:func:`repro.io.result_from_parts` over ndarray views of the mapped
+segments — so a worker's answers are bit-for-bit those of the parent.
+
+Ownership and lifetime discipline:
+
+* the **parent** owns every segment: it creates, later unlinks.  Workers
+  only ``close()`` their mappings (and Python's per-process resource
+  tracker is explicitly told to leave attached segments alone — without
+  that, the first worker to exit would unlink segments the parent still
+  serves from, a classic 3.11/3.12 footgun fixed only by 3.13's
+  ``track=False``).
+* segment names embed the owning pid (``<prefix>-<pid>-<token>-<n>``) so
+  :func:`sweep_stale_segments` can garbage-collect segments whose owner
+  died without unlinking (e.g. a SIGKILLed serving parent) the next time
+  a server starts.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.io import result_from_parts, result_to_parts
+
+__all__ = [
+    "ShmAttachment",
+    "ShmPublication",
+    "attach_result_from_shm",
+    "publish_result_to_shm",
+    "sweep_stale_segments",
+]
+
+#: Default first component of every segment name this module creates.
+DEFAULT_PREFIX = "repro-shm"
+#: Where POSIX shared memory appears as files (Linux).
+_SHM_DIR = "/dev/shm"
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Remove ``shm`` from this process's resource tracker.
+
+    Python 3.11/3.12 register a segment on *attach* as well as create,
+    so the tracker of the first worker to exit would unlink segments
+    the parent still serves from.  Publication and attachment therefore
+    both untrack immediately: segment lifetime is an explicit lifecycle
+    step here (:meth:`ShmPublication.unlink` / the startup sweep), not
+    an atexit side effect.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def _unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    """Unlink ``shm``'s name without touching the resource tracker.
+
+    ``SharedMemory.unlink`` unregisters too, which spams the tracker
+    with KeyErrors for segments that were untracked at creation.
+    """
+    unlink = getattr(getattr(shared_memory, "_posixshmem", None), "shm_unlink", None)
+    try:
+        if unlink is not None:
+            unlink(shm._name)
+        else:  # pragma: no cover - non-POSIX fallback
+            shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class ShmPublication:
+    """One result's arrays, published as named shared-memory segments.
+
+    Create via :func:`publish_result_to_shm`; the parent keeps the
+    publication alive for as long as workers may attach, then calls
+    :meth:`unlink` (and :meth:`close`) exactly once.
+
+    Parameters
+    ----------
+    header:
+        The JSON header from :func:`repro.io.result_to_parts`.
+    segments:
+        ``key -> SharedMemory`` for every array payload.
+    entries:
+        The manifest rows (``key``, ``segment``, ``dtype``, ``shape``)
+        describing each segment.
+    """
+
+    def __init__(self, header: dict, segments: dict, entries: list):
+        self._header = header
+        self._segments = segments
+        self._entries = entries
+        self._unlinked = False
+
+    @property
+    def manifest(self) -> dict:
+        """The JSON-able manifest workers attach from (header + rows)."""
+        return {"header": self._header, "arrays": list(self._entries)}
+
+    @property
+    def segment_names(self) -> tuple:
+        """The published segment names, in manifest order."""
+        return tuple(entry["segment"] for entry in self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes published across every segment."""
+        return sum(segment.size for segment in self._segments.values())
+
+    def close(self) -> None:
+        """Unmap the parent's own views of every segment.
+
+        Safe to call repeatedly; mappings workers hold are unaffected.
+        """
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+
+    def unlink(self) -> None:
+        """Remove every segment name from the system (idempotent).
+
+        Existing worker mappings stay valid — POSIX shared memory is
+        reference-counted — but no new attach can happen afterwards.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for segment in self._segments.values():
+            _unlink_segment(segment)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmPublication(segments={len(self._segments)}, "
+            f"bytes={self.total_bytes})"
+        )
+
+
+class ShmAttachment:
+    """A worker's read-only mapping of one published result.
+
+    Create via :func:`attach_result_from_shm`.  The attachment owns the
+    worker-side ``SharedMemory`` handles; :attr:`result` answers queries
+    over views of the mapped segments (zero copy).  Dropping the
+    attachment (or calling :meth:`close` once no arrays are referenced)
+    unmaps the segments in this process only.
+
+    Parameters
+    ----------
+    result:
+        The reconstructed :class:`~repro.core.framework.PublishResult`.
+    segments:
+        The mapped ``SharedMemory`` handles keeping the views valid.
+    """
+
+    def __init__(self, result, segments: list):
+        self._result = result
+        self._segments = segments
+
+    @property
+    def result(self):
+        """The attached result (arrays are read-only shm views)."""
+        return self._result
+
+    def close(self) -> None:
+        """Unmap this process's views (best effort; see class note)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:
+                # An ndarray view still references the buffer; the map
+                # is released when the last view is garbage collected.
+                pass
+
+    def __repr__(self) -> str:
+        return f"ShmAttachment(segments={len(self._segments)})"
+
+
+def publish_result_to_shm(result, *, prefix: str = DEFAULT_PREFIX) -> ShmPublication:
+    """Copy a result's arrays into named shared-memory segments.
+
+    Parameters
+    ----------
+    result:
+        Any :class:`~repro.core.framework.PublishResult` (dense,
+        coefficient, sharded, or stream release).  Lazy archive-backed
+        payloads are forced; the published arrays are the exact bytes a
+        fresh :func:`repro.io.load_result` would see.
+    prefix:
+        First component of each segment name.  The owning pid and a
+        random token are appended, so concurrent servers never collide
+        and :func:`sweep_stale_segments` can tell dead owners apart.
+
+    Returns
+    -------
+    ShmPublication
+        The handle the parent must keep and eventually ``unlink()``.
+    """
+    header, arrays = result_to_parts(result)
+    token = secrets.token_hex(4)
+    segments: dict = {}
+    entries: list = []
+    try:
+        for index, (key, array) in enumerate(sorted(arrays.items())):
+            payload = np.ascontiguousarray(array)
+            name = f"{prefix}-{os.getpid()}-{token}-{index}"
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, payload.nbytes)
+            )
+            if payload.nbytes:
+                view = np.ndarray(
+                    payload.shape, dtype=payload.dtype, buffer=segment.buf
+                )
+                view[...] = payload
+                del view  # keep the buffer exportable for close()
+            _untrack(segment)
+            segments[key] = segment
+            entries.append(
+                {
+                    "key": key,
+                    "segment": name,
+                    "dtype": str(payload.dtype),
+                    "shape": list(payload.shape),
+                }
+            )
+    except BaseException:
+        for segment in segments.values():
+            segment.close()
+            _unlink_segment(segment)
+        raise
+    return ShmPublication(header, segments, entries)
+
+
+def attach_result_from_shm(manifest: dict) -> ShmAttachment:
+    """Map a published result read-only in this process.
+
+    Parameters
+    ----------
+    manifest:
+        A :attr:`ShmPublication.manifest` dict received from the
+        publishing parent (over the worker pipe, as plain JSON-able
+        data — no tensors cross the pipe).
+
+    Returns
+    -------
+    ShmAttachment
+        Holds the reconstructed result; its arrays are read-only
+        ndarray views over the mapped segments, so an accidental
+        in-place write in any consumer raises instead of corrupting
+        every other worker's answers.
+    """
+    segments: list = []
+    arrays: dict = {}
+    try:
+        for entry in manifest["arrays"]:
+            segment = shared_memory.SharedMemory(name=entry["segment"])
+            _untrack(segment)
+            segments.append(segment)
+            view = np.ndarray(
+                tuple(entry["shape"]),
+                dtype=np.dtype(entry["dtype"]),
+                buffer=segment.buf,
+            )
+            view.setflags(write=False)
+            arrays[entry["key"]] = view
+        result = result_from_parts(manifest["header"], arrays)
+    except BaseException:
+        del arrays
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover
+                pass
+        raise
+    return ShmAttachment(result, segments)
+
+
+def sweep_stale_segments(
+    *, prefix: str = DEFAULT_PREFIX, directory: str = _SHM_DIR
+) -> list:
+    """Unlink segments whose owning process is gone (crash cleanup).
+
+    A parent that exits cleanly unlinks its own segments; a SIGKILLed
+    one cannot.  Because every name embeds the owner's pid, any later
+    server start can sweep: a segment whose pid no longer designates a
+    live process is unreachable garbage and is unlinked.  Live owners'
+    segments are never touched.
+
+    Parameters
+    ----------
+    prefix:
+        The segment-name prefix to scan for.
+    directory:
+        Where POSIX shared memory is mounted (``/dev/shm`` on Linux;
+        the sweep is a no-op where that does not exist).
+
+    Returns
+    -------
+    list
+        Names of the segments removed.
+    """
+    pattern = re.compile(re.escape(prefix) + r"-(\d+)-")
+    removed = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in names:
+        match = pattern.match(name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        try:
+            os.kill(pid, 0)
+            continue  # owner alive; leave its segments alone
+        except ProcessLookupError:
+            pass
+        except PermissionError:
+            continue  # alive, just not ours
+        try:
+            os.unlink(os.path.join(directory, name))
+            removed.append(name)
+        except OSError:  # pragma: no cover - raced another sweeper
+            pass
+    return removed

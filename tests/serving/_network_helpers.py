@@ -1,0 +1,82 @@
+"""Shared helpers for serving tests.
+
+The network tests exercise real sockets and real worker processes, so
+two disciplines apply everywhere:
+
+* every potentially-blocking test section runs under
+  :func:`hard_deadline` — a SIGALRM-based guard that turns a hang into
+  a loud ``TimeoutError`` (the suite has no pytest-timeout plugin, so a
+  silent hang would otherwise stall CI);
+* clients speak through :class:`JsonLineClient`, which owns the socket
+  timeout and the newline-delimited JSON framing.
+"""
+
+import contextlib
+import json
+import signal
+import socket
+
+
+@contextlib.contextmanager
+def hard_deadline(seconds):
+    """Raise TimeoutError if the block runs longer than ``seconds``.
+
+    SIGALRM interrupts blocking socket/pipe reads too, so a wedged
+    server surfaces as a stack trace at the blocked call instead of a
+    hung test run.
+    """
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded its {seconds}s hard deadline")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class JsonLineClient:
+    """A blocking newline-delimited-JSON client for the TCP front-end."""
+
+    def __init__(self, address, timeout=30.0):
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.file = self.sock.makefile("rwb")
+
+    def send(self, payload):
+        """Write one frame; dicts are JSON-encoded, bytes pass through."""
+        if isinstance(payload, bytes):
+            line = payload
+        else:
+            line = json.dumps(payload).encode("utf-8") + b"\n"
+        self.file.write(line)
+        self.file.flush()
+
+    def recv(self):
+        """Read one response frame; ``None`` on EOF/reset (closed)."""
+        try:
+            raw = self.file.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not raw:
+            return None
+        return json.loads(raw)
+
+    def request(self, payload):
+        """Send one frame and read its response."""
+        self.send(payload)
+        return self.recv()
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -1,0 +1,11 @@
+"""Serving-test fixtures; the helpers live in ``_network_helpers``."""
+
+import pytest
+
+from _network_helpers import hard_deadline
+
+
+@pytest.fixture
+def deadline():
+    """The :func:`hard_deadline` context manager, as a fixture."""
+    return hard_deadline

@@ -970,3 +970,96 @@ class TestColumnarCli:
         assert stats["plan_cache_evictions"] == 0
         assert stats["columnar_rows"] == 4
         assert stats["requests"] == 4
+
+
+class TestServeTcp:
+    """`serve --tcp`: readiness banner, TCP answers, SIGTERM drain."""
+
+    def test_bad_tcp_spec_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "r.npz"
+        assert (
+            main(
+                [
+                    "publish", str(path), "--scale", "0.05", "--rows", "500",
+                    "--representation", "coefficients",
+                ]
+            )
+            == 0
+        )
+        assert main(["serve", str(path), "--tcp", "nope"]) == 2
+        assert "--tcp expects HOST:PORT" in capsys.readouterr().err
+
+    def test_sigterm_drains_queued_responses(self, tmp_path, capsys):
+        """SIGTERM must flush every response already owed, then exit 0."""
+        import os
+        import signal as _signal
+        import socket
+        import subprocess
+        import sys
+
+        path = tmp_path / "census.npz"
+        assert (
+            main(
+                [
+                    "publish", str(path), "--scale", "0.05", "--rows", "1000",
+                    "--representation", "coefficients",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", f"census={path}",
+                "--tcp", "127.0.0.1:0", "--workers", "2",
+            ],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            assert banner.startswith("listening on ")
+            host, port = banner.split()[2].rsplit(":", 1)
+            sock = socket.create_connection((host, int(port)), timeout=30)
+            stream = sock.makefile("rwb")
+            for index in range(6):
+                stream.write(
+                    (
+                        json.dumps(
+                            {
+                                "op": "query",
+                                "release": "census",
+                                "ranges": {"Age": [0, 10]},
+                                "id": index,
+                            }
+                        )
+                        + "\n"
+                    ).encode()
+                )
+            stream.flush()
+            first = json.loads(stream.readline())
+            assert first["ok"] is True and first["id"] == 0
+            # Five responses still owed when the signal lands.
+            proc.send_signal(_signal.SIGTERM)
+            drained = [first]
+            for _ in range(5):
+                raw = stream.readline()
+                assert raw, "queued response lost during SIGTERM drain"
+                drained.append(json.loads(raw))
+            assert [r["id"] for r in drained] == list(range(6))
+            assert all(r["ok"] for r in drained)
+            assert stream.readline() == b""  # then the socket closes
+            sock.close()
+            summary = proc.stderr.read()
+            assert proc.wait(timeout=30) == 0
+            assert "served" in summary and "respawn" in summary
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

@@ -28,8 +28,11 @@ AUDITED_MODULES = [
     "repro.serving.batching",
     "repro.serving.cache",
     "repro.serving.registry",
+    "repro.serving.network",
     "repro.serving.requests",
     "repro.serving.server",
+    "repro.serving.shm",
+    "repro.serving.stats",
     "repro.streaming.publisher",
     "repro.streaming.release",
     "repro.streaming.tree",

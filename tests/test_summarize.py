@@ -9,6 +9,7 @@ from benchmarks.summarize import (
     main,
     serving_engine_ratio,
     summarize,
+    tail_latency_ms,
 )
 
 
@@ -70,13 +71,44 @@ class TestServingEngineRatio:
         assert serving_engine_ratio(payload) is None
 
 
+class TestTailLatencyMs:
+    def test_worst_p99_across_runs_in_ms(self):
+        payload = {
+            "provenance": {"p99_latency_seconds": 99.0},  # ignored
+            "runs": [
+                {"workers": 1, "p50_ms": 1.0, "p99_ms": 4.25},
+                {"workers": 4, "p50_ms": 0.5, "p99_ms": 9.75},
+            ],
+        }
+        assert tail_latency_ms(payload) == 9.75
+
+    def test_seconds_leaves_convert_to_ms(self):
+        payload = {"serving": {"p99_latency_seconds": 0.0125}}
+        assert tail_latency_ms(payload) == pytest.approx(12.5)
+
+    def test_mixed_units_compare_in_ms(self):
+        payload = {
+            "a": {"p99_ms": 3.0},
+            "b": {"p99_latency_seconds": 0.001},  # 1 ms, not the worst
+        }
+        assert tail_latency_ms(payload) == 3.0
+
+    def test_none_when_absent(self, results_dir):
+        payload = json.loads((results_dir / "BENCH_alpha.json").read_text())
+        assert tail_latency_ms(payload) is None
+
+    def test_unitless_p99_leaves_are_skipped(self):
+        assert tail_latency_ms({"x": {"p99": 7.0}}) is None
+
+
 class TestSummarize:
     def test_table_shape_and_content(self, results_dir):
         table = summarize(results_dir.glob("BENCH_*.json"))
         lines = table.strip().splitlines()
         assert lines[0] == "## Benchmark summary"
         assert lines[2] == (
-            "| benchmark | headline | serving/engine qps | mode | commit |"
+            "| benchmark | headline | serving/engine qps | worst p99 "
+            "| mode | commit |"
         )
         assert any(
             line.startswith("| alpha |") and "3.50x" in line and "abc1234" in line
@@ -110,6 +142,30 @@ class TestSummarize:
             line for line in table.splitlines() if line.startswith("| alpha |")
         )
         assert "| — |" in alpha
+
+    def test_worst_p99_column(self, results_dir):
+        (results_dir / "BENCH_delta.json").write_text(
+            json.dumps(
+                {
+                    "smoke": False,
+                    "provenance": {"commit": "bbb1111"},
+                    "runs": [
+                        {"qps": 1000.0, "p99_ms": 2.5},
+                        {"qps": 4000.0, "p99_ms": 6.5},
+                    ],
+                }
+            )
+        )
+        table = summarize(results_dir.glob("BENCH_*.json"))
+        delta = next(
+            line for line in table.splitlines() if line.startswith("| delta |")
+        )
+        assert "| 6.50 ms |" in delta
+        # Benchmarks without a p99 leave the cell blank.
+        alpha = next(
+            line for line in table.splitlines() if line.startswith("| alpha |")
+        )
+        assert alpha.split(" | ")[-3] == "—"
 
     def test_unreadable_file_is_flagged_not_fatal(self, results_dir):
         (results_dir / "BENCH_broken.json").write_text("{not json")
