@@ -69,13 +69,8 @@ def _epoch_tables(epochs: int, rows: int) -> list[Table]:
     return tables
 
 
-def test_streaming_scalability(record_result, tmp_path_factory):
-    epochs, rows, num_queries = _config()
-    tables = _epoch_tables(epochs, rows)
-    mechanism = PriveletPlusMechanism(sa_names="auto")
-    archive = tmp_path_factory.mktemp("bench_streaming") / "stream.npz"
-
-    # ---- streaming: publish each epoch once, merge, append to the archive
+def _timed_streaming(tables, mechanism, archive):
+    """One full streaming pass into a fresh archive; (seconds, publisher)."""
     publisher = StreamingPublisher(
         SCHEMA, mechanism, 1.0, seed=SEED, archive_path=archive
     )
@@ -83,10 +78,11 @@ def test_streaming_scalability(record_result, tmp_path_factory):
     for table in tables:
         publisher.ingest(table)
         publisher.advance_epoch()
-    streaming_seconds = time.perf_counter() - start
+    return time.perf_counter() - start, publisher
 
-    # ---- baseline: same freshness from a one-shot pipeline means
-    # republishing the whole prefix after every epoch.
+
+def _timed_republish(tables, mechanism):
+    """One full republish-the-prefix pass; (seconds, final flat result)."""
     start = time.perf_counter()
     prefix_rows = []
     flat = None
@@ -94,7 +90,31 @@ def test_streaming_scalability(record_result, tmp_path_factory):
         prefix_rows.append(table.rows)
         prefix = Table(SCHEMA, np.concatenate(prefix_rows, axis=0))
         flat = mechanism.publish(prefix, 1.0, seed=SEED, materialize=False)
-    republish_seconds = time.perf_counter() - start
+    return time.perf_counter() - start, flat
+
+
+def test_streaming_scalability(record_result, tmp_path_factory):
+    epochs, rows, num_queries = _config()
+    tables = _epoch_tables(epochs, rows)
+    mechanism = PriveletPlusMechanism(sa_names="auto")
+    archive_dir = tmp_path_factory.mktemp("bench_streaming")
+
+    # Both pipelines are timed as the min of two full passes, so one
+    # scheduler hiccup on a shared runner cannot sink the speedup gate.
+    # ---- streaming: publish each epoch once, merge, append to an archive
+    streaming_seconds = math.inf
+    for trial in range(2):
+        seconds, publisher = _timed_streaming(
+            tables, mechanism, archive_dir / f"stream_{trial}.npz"
+        )
+        streaming_seconds = min(streaming_seconds, seconds)
+
+    # ---- baseline: same freshness from a one-shot pipeline means
+    # republishing the whole prefix after every epoch.
+    republish_seconds = math.inf
+    for _ in range(2):
+        seconds, flat = _timed_republish(tables, mechanism)
+        republish_seconds = min(republish_seconds, seconds)
     ingest_speedup = republish_seconds / streaming_seconds
 
     # ---- window queries: mixed dyadic-unaligned windows over the stream

@@ -40,7 +40,12 @@ from repro.baselines import BarakMechanism, HayHierarchicalMechanism
 from repro.core import (
     BasicMechanism,
     CoefficientRelease,
+    ComposedPart,
+    ComposedRelease,
+    CompositeProfileCaches,
     DenseRelease,
+    Partition,
+    TimeTree,
     PrivacyAccount,
     PriveletMechanism,
     PriveletPlusMechanism,
@@ -51,6 +56,7 @@ from repro.core import (
     clamp_nonnegative,
     convert_result,
     partition_table,
+    publish,
     publish_nominal_release,
     publish_nominal_vector,
     publish_ordinal_release,
@@ -102,6 +108,7 @@ from repro.errors import (
     StreamingError,
     TransformError,
 )
+from repro.planner import PlannedBatch, QueryPlanner, plan_batch
 from repro.queries import (
     BatchQueryAnswers,
     QueryAnswer,
@@ -182,6 +189,7 @@ __all__ = [
     "PriveletMechanism",
     "PriveletPlusMechanism",
     "select_sa",
+    "publish",
     "publish_ordinal_vector",
     "publish_nominal_vector",
     "publish_ordinal_release",
@@ -189,6 +197,11 @@ __all__ = [
     "Release",
     "DenseRelease",
     "CoefficientRelease",
+    "ComposedPart",
+    "ComposedRelease",
+    "CompositeProfileCaches",
+    "Partition",
+    "TimeTree",
     "ShardedRelease",
     "convert_result",
     "publish_sharded",
@@ -216,6 +229,9 @@ __all__ = [
     "QueryEngine",
     "QueryAnswer",
     "BatchQueryAnswers",
+    "QueryPlanner",
+    "PlannedBatch",
+    "plan_batch",
     "Workload",
     "generate_workload",
     "square_error",

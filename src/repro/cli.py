@@ -65,7 +65,7 @@ from repro.core.basic import BasicMechanism
 from repro.core.privelet import PriveletMechanism
 from repro.core.privelet_plus import PriveletPlusMechanism, select_sa
 from repro.core.release import convert_result
-from repro.core.sharding import publish_sharded
+from repro.core.sharding import _publish_sharded
 from repro.data.census import BRAZIL, US, census_schema, generate_census_table
 from repro.experiments.config import AccuracyConfig, TimingConfig
 from repro.experiments.figures import (
@@ -229,6 +229,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer through the columnar fast path (raw box arrays "
         "into answer_columnar); answers are bit-for-bit identical",
     )
+    query.add_argument(
+        "--planned",
+        action="store_true",
+        help="answer through the cost-based batch planner (implies the "
+        "columnar path): duplicate boxes collapse to one engine pass "
+        "and hot marginal shapes may be served from materialized "
+        "views; answers stay bit-for-bit identical",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -296,6 +304,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(conflicts with a v2 archive's own SA set are reported as "
         "structured bad-request responses)",
     )
+    serve.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="disable the per-plan batch planner (columnar batches go "
+        "straight to the engine; answers are identical either way)",
+    )
 
     return parser
 
@@ -351,7 +365,7 @@ def _cmd_publish(args) -> int:
     table = generate_census_table(spec, args.rows, seed=args.seed)
     mechanism = _mechanism_for(args.mechanism)
     if args.shard_by is not None:
-        result = publish_sharded(
+        result = _publish_sharded(
             table,
             mechanism,
             args.epsilon,
@@ -531,14 +545,26 @@ def _cmd_query(args) -> int:
     queries = generate_workload(
         result.release.schema, args.queries, seed=args.seed
     )
-    if args.columnar:
+    planner = None
+    if args.columnar or args.planned:
         from repro.analysis.exact import query_boxes
 
         lows, highs = query_boxes(queries, result.release.schema.shape)
-        batch = engine.answer_columnar(lows, highs, confidence=args.confidence)
+        if args.planned:
+            from repro.planner import QueryPlanner
+
+            planner = QueryPlanner(engine)
+            batch = planner.answer_columnar(lows, highs, confidence=args.confidence)
+        else:
+            batch = engine.answer_columnar(lows, highs, confidence=args.confidence)
     else:
         batch = engine.answer_all_with_intervals(queries, confidence=args.confidence)
-    path_note = ", columnar path" if args.columnar else ""
+    if planner is not None:
+        path_note = f", planned path ({planner.rows_deduped} row(s) deduplicated)"
+    elif args.columnar:
+        path_note = ", columnar path"
+    else:
+        path_note = ""
     print(
         f"{len(queries)} random range-count queries on {args.archive} "
         f"(epsilon={result.epsilon}, {100 * args.confidence:.0f}% intervals, "
@@ -706,6 +732,7 @@ def _serve_tcp(args) -> int:
         profile_cache_entries=args.profile_cache,
         representation=None if args.representation == "archive" else args.representation,
         sa_names=tuple(args.sa) if args.sa is not None else None,
+        planner=not args.no_planner,
     )
     for spec in args.archives:
         name, path = _parse_archive_spec(spec)
@@ -760,6 +787,7 @@ def _cmd_serve(args) -> int:
         profile_cache_entries=args.profile_cache,
         representation=None if args.representation == "archive" else args.representation,
         sa_names=tuple(args.sa) if args.sa is not None else None,
+        planner=not args.no_planner,
     )
     with server:
         for spec in args.archives:

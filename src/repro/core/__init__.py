@@ -31,7 +31,15 @@ from repro.core.postprocess import (
     round_to_integers,
     sanitize,
 )
+from repro.core.compose import (
+    ComposedPart,
+    ComposedRelease,
+    CompositeProfileCaches,
+    Partition,
+    TimeTree,
+)
 from repro.core.privelet_plus import PriveletPlusMechanism, select_sa
+from repro.core.publish import publish
 from repro.core.sharding import (
     ShardedRelease,
     ShardSlot,
@@ -56,6 +64,7 @@ __all__ = [
     "PriveletMechanism",
     "PriveletPlusMechanism",
     "select_sa",
+    "publish",
     "publish_ordinal_vector",
     "publish_nominal_vector",
     "publish_ordinal_release",
@@ -63,6 +72,11 @@ __all__ = [
     "Release",
     "DenseRelease",
     "CoefficientRelease",
+    "ComposedPart",
+    "ComposedRelease",
+    "CompositeProfileCaches",
+    "Partition",
+    "TimeTree",
     "ShardedRelease",
     "ShardSlot",
     "REPRESENTATIONS",

@@ -16,6 +16,8 @@ one-dimensional instantiations, which are what §IV-B and §V-B describe:
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.framework import PublishResult
@@ -94,7 +96,7 @@ def publish_nominal_vector(
     return transform.inverse(noisy, refine=True)
 
 
-def publish_ordinal_release(
+def _ordinal_release(
     counts, epsilon: float, *, seed=None, materialize: bool = False, name: str = "value"
 ) -> PublishResult:
     """1-D Privelet over an ordinal domain as a full :class:`PublishResult`.
@@ -115,7 +117,7 @@ def publish_ordinal_release(
     )
 
 
-def publish_nominal_release(
+def _nominal_release(
     counts,
     hierarchy: Hierarchy,
     epsilon: float,
@@ -126,8 +128,8 @@ def publish_nominal_release(
 ) -> PublishResult:
     """1-D Privelet over a nominal domain as a full :class:`PublishResult`.
 
-    Like :func:`publish_ordinal_release` but with the §V nominal
-    transform; ``counts`` is indexed by the hierarchy's DFS leaf order.
+    Like :func:`_ordinal_release` but with the §V nominal transform;
+    ``counts`` is indexed by the hierarchy's DFS leaf order.
     """
     counts = np.asarray(counts, dtype=np.float64)
     if counts.ndim != 1:
@@ -135,4 +137,50 @@ def publish_nominal_release(
     schema = Schema([NominalAttribute(name, hierarchy)])
     return PriveletMechanism().publish_matrix(
         FrequencyMatrix(schema, counts), epsilon, seed=seed, materialize=materialize
+    )
+
+
+def publish_ordinal_release(
+    counts, epsilon: float, *, seed=None, materialize: bool = False, name: str = "value"
+) -> PublishResult:
+    """Deprecated alias of :func:`repro.publish` on an ordinal count vector.
+
+    Kept for released callers; draws identical noise under the same
+    seed.  Prefer ``repro.publish(counts, epsilon,
+    mechanism="privelet")``.
+    """
+    warnings.warn(
+        'publish_ordinal_release is deprecated; use repro.publish(counts, '
+        'epsilon, mechanism="privelet") instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _ordinal_release(
+        counts, epsilon, seed=seed, materialize=materialize, name=name
+    )
+
+
+def publish_nominal_release(
+    counts,
+    hierarchy: Hierarchy,
+    epsilon: float,
+    *,
+    seed=None,
+    materialize: bool = False,
+    name: str = "value",
+) -> PublishResult:
+    """Deprecated alias of :func:`repro.publish` on a nominal count vector.
+
+    Kept for released callers; draws identical noise under the same
+    seed.  Prefer ``repro.publish(counts, epsilon,
+    mechanism="privelet", hierarchy=hierarchy)``.
+    """
+    warnings.warn(
+        'publish_nominal_release is deprecated; use repro.publish(counts, '
+        'epsilon, mechanism="privelet", hierarchy=hierarchy) instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _nominal_release(
+        counts, hierarchy, epsilon, seed=seed, materialize=materialize, name=name
     )

@@ -21,35 +21,36 @@ That observation buys two scaling axes at once:
   box query touches only the shards its partition-axis range
   intersects.
 
-Answers and uncertainties compose exactly: a query's answer is the sum
-of the per-shard answers on the clipped boxes, and because each shard's
-noise is drawn independently the exact variances **add**.  The
-:class:`~repro.queries.engine.QueryEngine` batch/interval API therefore
-works transparently on a sharded result.
-
-The partition attribute must be ordinal: shards are contiguous coded
-ranges ``[bounds[i], bounds[i+1])``, which is what makes range routing a
-two-comparison clip per shard.
+Since the composition-algebra refactor, all routing and accounting live
+in :class:`~repro.core.compose.Partition` — the parallel-composition
+combinator of :mod:`repro.core.compose` — and :class:`ShardedRelease`
+is a thin constructor over it.  This module keeps the partitioning
+utilities (:func:`shard_bounds`, :func:`partition_table`,
+:func:`shard_seeds`) and the parallel publisher
+(:func:`publish_sharded`), plus back-compat re-exports of the names
+that moved into the algebra (:class:`ShardSlot`, :func:`shard_schema`,
+:class:`ShardProfileCaches`).
 """
 
 from __future__ import annotations
 
 import os
-import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.exact import AxisProfileCache
+from repro.core.compose import (
+    CompositeProfileCaches,
+    Partition,
+    ShardSlot,
+    _check_bounds,
+    _partition_axis,
+    shard_schema,
+)
 from repro.core.framework import PublishResult
-from repro.core.release import Release, infer_sa_names
-from repro.data.attributes import OrdinalAttribute
-from repro.data.frequency import FrequencyMatrix
-from repro.data.schema import Schema
 from repro.data.table import Table
 from repro.errors import SchemaError
-from repro.transforms.multidim import HNTransform
 from repro.utils.validation import ensure_positive_int
 
 __all__ = [
@@ -89,63 +90,6 @@ def shard_bounds(size: int, shards: int) -> tuple[int, ...]:
             f"cannot cut a domain of size {size} into {shards} non-empty shards"
         )
     return tuple(int(round(i * size / shards)) for i in range(shards + 1))
-
-
-def _partition_axis(schema: Schema, attribute: str) -> int:
-    """The partition attribute's axis, validated ordinal."""
-    axis = schema.index_of(attribute)
-    if not schema[axis].is_ordinal:
-        raise SchemaError(
-            f"can only shard along an ordinal attribute; {attribute!r} is nominal"
-        )
-    return axis
-
-
-def _check_bounds(bounds, size: int) -> tuple[int, ...]:
-    """Validate ascending cut points covering exactly ``[0, size)``."""
-    bounds = tuple(int(b) for b in bounds)
-    if len(bounds) < 2 or bounds[0] != 0 or bounds[-1] != size:
-        raise SchemaError(
-            f"shard bounds must run from 0 to {size}, got {bounds}"
-        )
-    if any(lo >= hi for lo, hi in zip(bounds, bounds[1:])):
-        raise SchemaError(f"shard bounds must be strictly increasing, got {bounds}")
-    return bounds
-
-
-def shard_schema(schema: Schema, attribute: str, lo: int, hi: int) -> Schema:
-    """The schema of one shard: ``attribute`` restricted to ``[lo, hi)``.
-
-    Every other attribute is carried over unchanged; the partition
-    attribute becomes an ordinal of size ``hi - lo`` (coded values are
-    shifted down by ``lo`` inside the shard).
-
-    Parameters
-    ----------
-    schema:
-        The global (unsharded) schema.
-    attribute:
-        The ordinal attribute the table is partitioned along.
-    lo, hi:
-        The shard's half-open interval on that attribute's coded domain.
-
-    Returns
-    -------
-    Schema
-        The shard's restricted schema.
-    """
-    axis = _partition_axis(schema, attribute)
-    if not 0 <= lo < hi <= schema[axis].size:
-        raise SchemaError(
-            f"shard interval [{lo}, {hi}) out of range for {attribute!r} "
-            f"of size {schema[axis].size}"
-        )
-    labels = schema[axis].labels
-    attributes = list(schema.attributes)
-    attributes[axis] = OrdinalAttribute(
-        attribute, hi - lo, labels[lo:hi] if labels is not None else None
-    )
-    return Schema(attributes)
 
 
 def shard_seeds(seed, shards: int) -> list:
@@ -213,106 +157,29 @@ def partition_table(table: Table, attribute: str, bounds) -> list[Table]:
     return shards
 
 
-@dataclass(frozen=True)
-class ShardSlot:
-    """One deferred shard: mechanism configuration now, payload on touch.
+class ShardProfileCaches(CompositeProfileCaches):
+    """Back-compat name for :class:`~repro.core.compose.CompositeProfileCaches`.
 
-    The configuration (``sa_names`` and ``noise_magnitude``) is all a
-    :class:`ShardedRelease` needs for query routing and exact variances,
-    so a v3 archive can register and profile queries without mapping any
-    shard payload; ``load`` is invoked (once, thread-safely) by the
-    first query that actually routes to the shard.
+    Pre-algebra code built per-shard profile-cache aggregates under this
+    name; the algebra generalized it to arbitrary composed parts
+    (including nested composites).  The class is unchanged — only the
+    canonical name moved: construct it from the per-shard ``caches``
+    list exactly as before.
     """
 
-    #: The shard's Privelet+ ``SA`` set (over its restricted schema).
-    sa_names: tuple
-    #: The shard's Laplace parameter λ.
-    noise_magnitude: float
-    #: Zero-argument callable returning the shard's
-    #: :class:`~repro.core.framework.PublishResult`.
-    load: object
-    #: The payload's representation when known without loading
-    #: (``"dense"``/``"coefficients"``); lets representation-converting
-    #: callers skip no-op conversions without touching the payload.
-    representation: str | None = None
 
-
-class _Shard:
-    """Runtime state of one shard inside a :class:`ShardedRelease`."""
-
-    def __init__(
-        self, schema: Schema, sa_names, noise_magnitude: float, loader,
-        representation: str | None = None,
-    ):
-        self.schema = schema
-        self.sa_names = tuple(sa_names)
-        self.noise_magnitude = float(noise_magnitude)
-        self.representation = representation
-        self.transform = HNTransform(schema, self.sa_names)
-        self._loader = loader
-        self._result: PublishResult | None = None
-        self._lock = threading.Lock()
-
-    @property
-    def loaded(self) -> bool:
-        return self._result is not None
-
-    def result(self) -> PublishResult:
-        if self._result is None:
-            with self._lock:
-                if self._result is None:
-                    self._result = self._loader()
-        return self._result
-
-
-class ShardProfileCaches:
-    """Per-shard profile caches plus aggregate hit/miss counters.
-
-    Built by :meth:`ShardedRelease.build_profile_caches`; each engine
-    serving a sharded release owns one of these, so a server's bounded
-    cache policy applies to *its* traffic regardless of how the release
-    was used before registration.  Serving-layer stats read ``hits``/
-    ``misses``/``evictions`` off an engine's profile cache; here those
-    counters live in one cache per shard, summed on access.
-    """
-
-    def __init__(self, caches):
-        self.caches = list(caches)
-
-    @property
-    def hits(self) -> int:
-        """Distinct-range lookups served from any shard's cache."""
-        return sum(cache.hits for cache in self.caches)
-
-    @property
-    def misses(self) -> int:
-        """Distinct-range lookups that had to call a transform."""
-        return sum(cache.misses for cache in self.caches)
-
-    @property
-    def evictions(self) -> int:
-        """LRU evictions across shards (0 for unbounded caches)."""
-        return sum(getattr(cache, "evictions", 0) for cache in self.caches)
-
-    @property
-    def hit_rate(self) -> float:
-        """``hits / (hits + misses)``, 0.0 before any lookup."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-
-class ShardedRelease(Release):
+class ShardedRelease(Partition):
     """Disjoint per-shard releases behind one answer backend.
 
-    Implements the full :class:`~repro.core.release.Release` protocol —
-    ``schema``, :meth:`answer_boxes`, ``marginal``, :meth:`to_matrix` —
-    plus :meth:`noise_variances_boxes`, the exact-uncertainty hook the
-    query engine uses because a sharded release has no single transform
-    or λ.  A box query is clipped against each shard's partition-axis
-    interval; only intersecting shards are touched (and therefore
-    loaded, for archive-backed shards), their clipped answers summed.
-    Independent per-shard noise means the exact variances sum the same
-    way.
+    A thin constructor over the algebra's
+    :class:`~repro.core.compose.Partition` combinator, kept for its
+    established name and accessors (``num_shards``, ``shards_loaded``,
+    ``shard_result``).  All routing, answer accumulation, and exact
+    variance math are inherited: a box query is clipped against each
+    shard's partition-axis interval; only intersecting shards are
+    touched (and therefore loaded, for archive-backed shards), their
+    clipped answers summed, and independent per-shard noise means the
+    exact variances sum the same way.
 
     Parameters
     ----------
@@ -325,275 +192,11 @@ class ShardedRelease(Release):
         values from 0 to the attribute's domain size).
     shards:
         One entry per shard, aligned with ``bounds`` intervals: either a
-        :class:`~repro.core.framework.PublishResult` (in-memory shard)
-        or a :class:`ShardSlot` (lazy archive-backed shard).
+        :class:`~repro.core.framework.PublishResult` (in-memory shard —
+        possibly itself composed, e.g. a per-shard stream) or a
+        :class:`~repro.core.compose.ShardSlot` (lazy archive-backed
+        shard).
     """
-
-    representation = "sharded"
-
-    def __init__(self, schema: Schema, attribute: str, bounds, shards):
-        self._schema = schema
-        self._attribute = str(attribute)
-        self._axis = _partition_axis(schema, self._attribute)
-        self._bounds = _check_bounds(bounds, schema[self._axis].size)
-        shards = list(shards)
-        if len(shards) != len(self._bounds) - 1:
-            raise SchemaError(
-                f"expected {len(self._bounds) - 1} shards for bounds "
-                f"{self._bounds}, got {len(shards)}"
-            )
-        self._shards: list[_Shard] = []
-        for index, entry in enumerate(shards):
-            lo, hi = self._bounds[index], self._bounds[index + 1]
-            sub_schema = shard_schema(schema, self._attribute, lo, hi)
-            if isinstance(entry, PublishResult):
-                if entry.release.schema.shape != sub_schema.shape:
-                    raise SchemaError(
-                        f"shard {index} has shape {entry.release.schema.shape}, "
-                        f"expected {sub_schema.shape} for interval [{lo}, {hi})"
-                    )
-                shard = _Shard(
-                    entry.release.schema,
-                    infer_sa_names(entry),
-                    entry.noise_magnitude,
-                    lambda result=entry: result,
-                    entry.representation,
-                )
-                shard._result = entry
-            elif isinstance(entry, ShardSlot):
-                shard = _Shard(
-                    sub_schema,
-                    entry.sa_names,
-                    entry.noise_magnitude,
-                    entry.load,
-                    entry.representation,
-                )
-            else:
-                raise SchemaError(
-                    f"shard {index} must be a PublishResult or ShardSlot, "
-                    f"got {type(entry).__name__}"
-                )
-            self._shards.append(shard)
-        self._caches = None
-        self._caches_lock = threading.Lock()
-
-    # ------------------------------------------------------------------
-    @property
-    def schema(self) -> Schema:
-        return self._schema
-
-    @property
-    def attribute(self) -> str:
-        """The partition attribute's name."""
-        return self._attribute
-
-    @property
-    def bounds(self) -> tuple[int, ...]:
-        """The partition cut points (``num_shards + 1`` values)."""
-        return self._bounds
-
-    @property
-    def num_shards(self) -> int:
-        """How many shards this release is split into."""
-        return len(self._shards)
-
-    @property
-    def shards_loaded(self) -> int:
-        """How many shard payloads have been materialized so far."""
-        return sum(shard.loaded for shard in self._shards)
-
-    def shard_result(self, index: int) -> PublishResult:
-        """Shard ``index``'s full result (loads an archive-backed shard).
-
-        Parameters
-        ----------
-        index:
-            Shard position, aligned with the ``bounds`` intervals.
-
-        Returns
-        -------
-        PublishResult
-            The shard's own published result (its ε equals the sharded
-            release's ε — parallel composition, not splitting).
-        """
-        return self._shards[index].result()
-
-    # ------------------------------------------------------------------
-    def _route(self, lows: np.ndarray, highs: np.ndarray):
-        """Yield ``(shard, mask, clipped_lows, clipped_highs)`` per shard.
-
-        ``mask`` selects the queries whose partition-axis range
-        intersects the shard's interval *and* whose box is non-empty;
-        the clipped bounds are re-coded onto the shard's local domain.
-        """
-        nonempty = ~np.any(lows == highs, axis=1)
-        axis = self._axis
-        for index, shard in enumerate(self._shards):
-            lo_b, hi_b = self._bounds[index], self._bounds[index + 1]
-            clip_lo = np.maximum(lows[:, axis], lo_b)
-            clip_hi = np.minimum(highs[:, axis], hi_b)
-            mask = nonempty & (clip_lo < clip_hi)
-            if not mask.any():
-                continue
-            sub_lows = lows[mask].copy()
-            sub_highs = highs[mask].copy()
-            sub_lows[:, axis] = clip_lo[mask] - lo_b
-            sub_highs[:, axis] = clip_hi[mask] - lo_b
-            yield shard, index, mask, sub_lows, sub_highs
-
-    def answer_boxes(self, lows, highs) -> np.ndarray:
-        """Batch box answers: clipped per-shard answers, summed.
-
-        Only the shards a query's partition-axis range intersects are
-        consulted (lazy shards load on their first routed query);
-        degenerate boxes (``lo == hi`` on any axis) short-circuit to an
-        exact ``0.0`` without touching any shard.
-
-        Parameters
-        ----------
-        lows, highs:
-            ``(n, d)`` arrays of half-open box bounds, one row per query.
-
-        Returns
-        -------
-        numpy.ndarray
-            ``(n,)`` private counts aligned with the rows.
-        """
-        lows, highs = self._check_boxes(lows, highs)
-        answers = np.zeros(lows.shape[0], dtype=np.float64)
-        for shard, _, mask, sub_lows, sub_highs in self._route(lows, highs):
-            answers[mask] += shard.result().release.answer_boxes(sub_lows, sub_highs)
-        return answers
-
-    def build_profile_caches(self, factory=None) -> ShardProfileCaches:
-        """Fresh per-shard profile caches for one consumer (e.g. engine).
-
-        Each :class:`~repro.queries.engine.QueryEngine` serving this
-        release builds its own set, so a server's bounded cache policy
-        (and its hit/miss accounting) covers exactly that engine's
-        traffic — a release queried directly beforehand, or served by
-        two servers, cannot bypass either bound.
-
-        Parameters
-        ----------
-        factory:
-            Optional callable mapping a shard's per-axis transform
-            sequence to its :class:`~repro.analysis.exact.
-            AxisProfileCache`; the serving layer passes a bounded LRU
-            subclass.  The default is the unbounded cache.
-
-        Returns
-        -------
-        ShardProfileCaches
-            One cache per shard, with aggregate counters.
-        """
-        build = factory if factory is not None else AxisProfileCache
-        return ShardProfileCaches(
-            build(shard.transform.transforms) for shard in self._shards
-        )
-
-    def _default_caches(self) -> ShardProfileCaches:
-        """The release's own (unbounded) caches for direct variance calls."""
-        if self._caches is None:
-            with self._caches_lock:
-                if self._caches is None:
-                    self._caches = self.build_profile_caches()
-        return self._caches
-
-    def noise_variances_boxes(self, lows, highs, *, caches=None) -> np.ndarray:
-        """Exact noise variance of each box's answer, summed over shards.
-
-        Each routed shard contributes ``2 λ_i² · ∏ profile`` on the
-        clipped box (through a memoized profile cache); shards a query
-        does not touch contribute nothing — independent noise means the
-        variances of the summed answer simply add.  Needs no shard
-        payload: the profiles depend only on each shard's transform
-        configuration.
-
-        Parameters
-        ----------
-        lows, highs:
-            ``(n, d)`` arrays of half-open box bounds, one row per query.
-        caches:
-            A :class:`ShardProfileCaches` to memoize profiles in (an
-            engine passes its own); defaults to the release's internal
-            unbounded set.
-
-        Returns
-        -------
-        numpy.ndarray
-            ``(n,)`` exact variances aligned with the rows.
-        """
-        lows, highs = self._check_boxes(lows, highs)
-        if caches is None:
-            caches = self._default_caches()
-        variances = np.zeros(lows.shape[0], dtype=np.float64)
-        for shard, index, mask, sub_lows, sub_highs in self._route(lows, highs):
-            products = caches.caches[index].box_profile_products(
-                sub_lows, sub_highs
-            )
-            variances[mask] += 2.0 * shard.noise_magnitude**2 * products
-        return variances
-
-    def to_matrix(self) -> FrequencyMatrix:
-        """Materialize the global ``M*`` by concatenating shard matrices.
-
-        Loads (and densifies) every shard — the thing sharding exists to
-        avoid on the serving path — so, like
-        :meth:`~repro.core.release.CoefficientRelease.to_matrix`, the
-        result is not cached.
-        """
-        values = np.zeros(self._schema.shape, dtype=np.float64)
-        selector: list = [slice(None)] * len(self._schema.shape)
-        for index, shard in enumerate(self._shards):
-            selector[self._axis] = slice(self._bounds[index], self._bounds[index + 1])
-            values[tuple(selector)] = shard.result().release.to_matrix().values
-        return FrequencyMatrix(self._schema, values)
-
-    def nbytes(self) -> int:
-        """Bytes held by the *loaded* shards' serving state."""
-        return sum(
-            shard.result().release.nbytes() for shard in self._shards if shard.loaded
-        )
-
-    def convert(self, representation: str) -> "ShardedRelease":
-        """Re-represent every shard (``dense``/``coefficients``).
-
-        When every shard is already known (without loading) to carry
-        ``representation``, this returns ``self`` — so a server's
-        representation override on an archive stored that way keeps its
-        shard-laziness.  Otherwise all shards load and convert; routing
-        metadata is preserved either way.  Used by
-        :func:`repro.core.release.convert_result` so servers configured
-        with a representation override serve sharded archives too.
-
-        Parameters
-        ----------
-        representation:
-            The target per-shard representation.
-
-        Returns
-        -------
-        ShardedRelease
-            ``self`` when already uniform, else a new release whose
-            shards all carry ``representation``.
-        """
-        from repro.core.release import convert_result
-
-        if all(shard.representation == representation for shard in self._shards):
-            return self
-        converted = [
-            convert_result(self.shard_result(index), representation)
-            for index in range(self.num_shards)
-        ]
-        return ShardedRelease(self._schema, self._attribute, self._bounds, converted)
-
-    def __repr__(self) -> str:
-        return (
-            f"ShardedRelease(shape={self._schema.shape}, "
-            f"by={self._attribute!r}, shards={self.num_shards}, "
-            f"loaded={self.shards_loaded})"
-        )
 
 
 def _publish_shard(mechanism, table, epsilon, seed, materialize):
@@ -601,7 +204,7 @@ def _publish_shard(mechanism, table, epsilon, seed, materialize):
     return mechanism.publish(table, epsilon, seed=seed, materialize=materialize)
 
 
-def publish_sharded(
+def _publish_sharded(
     table: Table,
     mechanism,
     epsilon: float,
@@ -705,4 +308,49 @@ def publish_sharded(
             "bounds": list(bounds),
             "shards": len(results),
         },
+    )
+
+
+def publish_sharded(
+    table: Table,
+    mechanism,
+    epsilon: float,
+    *,
+    shard_by: str,
+    shards: int = 4,
+    bounds=None,
+    seed=None,
+    materialize: bool = True,
+    parallel: bool = True,
+    max_workers: int | None = None,
+    use_processes: bool = False,
+) -> PublishResult:
+    """Deprecated alias of :func:`repro.publish` with ``shard_by``.
+
+    Kept for released callers; draws identical noise under the same
+    seed.  Prefer ``repro.publish(table, epsilon, shard_by=...)``.
+
+    Every parameter — ``table``, ``mechanism``, ``epsilon``,
+    ``shard_by``, ``shards``, ``bounds``, ``seed``, ``materialize``,
+    ``parallel``, ``max_workers``, ``use_processes`` — forwards
+    unchanged to the internal implementation the facade shares.
+    """
+    warnings.warn(
+        "publish_sharded is deprecated; use repro.publish(table, epsilon, "
+        "shard_by=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _publish_sharded(
+        table,
+        mechanism,
+        epsilon,
+        shard_by=shard_by,
+        shards=shards,
+        bounds=bounds,
+        seed=seed,
+        materialize=materialize,
+        parallel=parallel,
+        max_workers=max_workers,
+        use_processes=use_processes,
     )

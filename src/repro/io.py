@@ -32,12 +32,26 @@ in one of two **formats**:
   newest manifest, and a serving process re-resolves a live stream by
   re-opening the file (:attr:`ResultHandle.stale` flags the change).
   Loading is node-lazy exactly like v3 is shard-lazy.
+* **v5** (``format: 5``): a **composition tree** — any nested
+  :class:`~repro.core.compose.ComposedRelease` (e.g. a
+  :class:`~repro.core.compose.Partition` of per-shard
+  :class:`~repro.core.compose.TimeTree` streams).  The header embeds
+  the whole tree as a recursive manifest: ``partition`` nodes carry
+  their cut points plus one accounting entry per child, ``stream``
+  nodes their epoch count, window and per-node accounting, and every
+  leaf names the archive member holding its payload.  Loading from a
+  filesystem path is leaf-lazy — the manifest alone rebuilds routing
+  and exact variances for the whole tree, and each leaf payload is
+  decompressed when the first query routes to it.
 
-The format is chosen by the result's representation: dense releases save
-as v1 (so older readers keep working), coefficient releases as v2,
-sharded releases as v3, streams as v4.  All load back to a
-:class:`PublishResult` that answers any workload identically to the
-saved one.
+The format is chosen by the result's release shape: dense releases save
+as v1 (so older readers keep working), coefficient releases as v2, flat
+sharded releases as v3, streams as v4, and nested compositions as v5.
+v3 and v4 archives load back as algebra instances (a
+:class:`~repro.core.sharding.ShardedRelease` partition, a
+:class:`~repro.streaming.release.StreamRelease` time tree) and all
+formats load to a :class:`PublishResult` that answers any workload
+identically to the saved one.
 
 Hierarchies are serialized by their parent arrays + labels, which is
 enough to rebuild an identical :class:`~repro.data.hierarchy.Hierarchy`
@@ -64,6 +78,7 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from repro.core.compose import Partition, TimeTree
 from repro.core.framework import PublishResult
 from repro.core.release import CoefficientRelease, DenseRelease, infer_sa_names
 from repro.core.sharding import ShardedRelease, ShardSlot, shard_schema
@@ -72,7 +87,7 @@ from repro.data.frequency import FrequencyMatrix
 from repro.data.hierarchy import Hierarchy, Node
 from repro.data.schema import Schema
 from repro.errors import ReproError
-from repro.streaming.release import StreamNode, StreamRelease, stream_result
+from repro.streaming.release import StreamNode, StreamRelease, _wrap_stream_result
 
 __all__ = [
     "save_result",
@@ -98,6 +113,8 @@ _COEFFICIENT_FORMAT_VERSION = 2
 _SHARDED_FORMAT_VERSION = 3
 #: Archive format for append-able streams (tree nodes + versioned manifests).
 _STREAM_FORMAT_VERSION = 4
+#: Archive format for nested compositions (recursive tree manifest).
+_COMPOSED_FORMAT_VERSION = 5
 #: Member-name prefix of the versioned stream manifests.
 _MANIFEST_PREFIX = "stream_manifest_"
 
@@ -189,8 +206,12 @@ def result_to_parts(result: PublishResult) -> tuple[dict, dict]:
         ``header["manifest"]``), ``arrays`` maps archive member names to
         ``np.ndarray`` payloads.
     """
-    if isinstance(result.release, StreamRelease):
+    if isinstance(result.release, TimeTree):
         return _stream_parts(result)
+    if isinstance(result.release, Partition) and any(
+        part.composed for part in result.release.parts
+    ):
+        return _composed_parts(result)
     header = {
         "schema": schema_to_dict(result.release.schema),
         "epsilon": result.epsilon,
@@ -200,7 +221,7 @@ def result_to_parts(result: PublishResult) -> tuple[dict, dict]:
         "details": {k: _jsonable(v) for k, v in result.details.items()},
     }
     release = result.release
-    if isinstance(release, ShardedRelease):
+    if isinstance(release, Partition):
         header["format"] = _SHARDED_FORMAT_VERSION
         header["representation"] = "sharded"
         header["shard_by"] = release.attribute
@@ -224,11 +245,10 @@ def result_to_parts(result: PublishResult) -> tuple[dict, dict]:
             elif isinstance(shard_release, DenseRelease):
                 entry["representation"] = "dense"
                 payload = shard_release.to_matrix().values
-            else:
+            else:  # pragma: no cover - composed shards route to v5 above
                 raise ReproError(
                     f"cannot archive a shard of type "
-                    f"{type(shard_release).__name__} (nested sharding is "
-                    "not supported)"
+                    f"{type(shard_release).__name__}"
                 )
             arrays[_shard_array_key(index, entry["representation"])] = payload
             entries.append(entry)
@@ -249,12 +269,14 @@ def save_result(path, result: PublishResult) -> None:
     """Write a published result to ``path`` (``.npz`` archive).
 
     Dense releases write the v1 layout; coefficient releases the v2
-    layout (coefficients + SA set, no dense matrix); sharded releases
-    the v3 layout (a manifest plus one array member per shard, each in
-    that shard's own representation); stream releases the v4 layout as
-    a one-shot snapshot of the whole tree (every node loads; prefer the
-    publisher's own append path for live streams — and note a snapshot
-    records no base seed, so resuming it draws fresh entropy).
+    layout (coefficients + SA set, no dense matrix); flat sharded
+    releases the v3 layout (a manifest plus one array member per shard,
+    each in that shard's own representation); stream releases the v4
+    layout as a one-shot snapshot of the whole tree (every node loads;
+    prefer the publisher's own append path for live streams — and note
+    a snapshot records no base seed, so resuming it draws fresh
+    entropy); nested compositions the v5 layout (the whole composition
+    tree as a recursive manifest plus one array member per leaf).
     """
     header, arrays = result_to_parts(result)
     if header.get("representation") == "stream":
@@ -670,9 +692,8 @@ def _stream_release(path, archive, header: dict) -> tuple[StreamRelease, dict]:
 def _stream_accounting(release, manifest: dict, header: dict) -> PublishResult:
     """A stream release's :class:`PublishResult` (manifest accounting).
 
-    Delegates the leaf aggregation to
-    :func:`repro.streaming.release.stream_result` — the same convention
-    :meth:`StreamingPublisher.result` uses — so archive-loaded and
+    Delegates the leaf aggregation to the same wrapping convention
+    :meth:`StreamingPublisher.result` uses, so archive-loaded and
     in-process stream results can never disagree on accounting.
     """
     leaves = [
@@ -685,7 +706,7 @@ def _stream_accounting(release, manifest: dict, header: dict) -> PublishResult:
         for entry in manifest["nodes"]
         if entry["level"] == 0
     ]
-    return stream_result(
+    return _wrap_stream_result(
         release,
         leaves,
         epsilon=float(header["epsilon"]),
@@ -754,6 +775,203 @@ def _write_stream_snapshot(path, header: dict, arrays: dict) -> None:
         )
 
 
+# ----------------------------------------------------------------------
+# v5 composition-tree archives
+# ----------------------------------------------------------------------
+def _composed_entry(result: PublishResult, arrays: dict, prefix: str) -> dict:
+    """One v5 manifest node: accounting plus the release's recursive shape.
+
+    Every node carries the part's full privacy accounting (so nested
+    parts reload as first-class :class:`PublishResult` values); leaf
+    payloads are appended to ``arrays`` under ``prefix``-qualified
+    member names, which keeps members unique at any nesting depth.
+    """
+    entry = {
+        "epsilon": result.epsilon,
+        "noise_magnitude": result.noise_magnitude,
+        "generalized_sensitivity": result.generalized_sensitivity,
+        "variance_bound": result.variance_bound,
+        "details": {k: _jsonable(v) for k, v in result.details.items()},
+    }
+    release = result.release
+    if isinstance(release, Partition):
+        entry["kind"] = "partition"
+        entry["attribute"] = release.attribute
+        entry["bounds"] = list(release.bounds)
+        entry["children"] = [
+            _composed_entry(release.part_result(i), arrays, f"{prefix}p{i}_")
+            for i in range(release.num_parts)
+        ]
+    elif isinstance(release, TimeTree):
+        nodes = []
+        for (level, index), node in sorted(release.nodes.items()):
+            node_result = node.result()
+            member = prefix + stream_node_key(level, index)
+            arrays[member] = _node_payload(node_result.release)
+            nodes.append(
+                {
+                    "level": level,
+                    "index": index,
+                    "member": member,
+                    "representation": node_result.representation,
+                    "epsilon": node_result.epsilon,
+                    "noise_magnitude": node_result.noise_magnitude,
+                    "generalized_sensitivity": node_result.generalized_sensitivity,
+                    "variance_bound": node_result.variance_bound,
+                    "sa": list(release.sa_names),
+                }
+            )
+        entry["kind"] = "stream"
+        entry["sa"] = list(release.sa_names)
+        entry["epochs"] = release.epochs
+        entry["window"] = list(release.window_bounds)
+        entry["nodes"] = nodes
+    else:
+        entry["kind"] = "leaf"
+        entry["sa"] = list(infer_sa_names(result))
+        if isinstance(release, CoefficientRelease):
+            entry["representation"] = "coefficients"
+            payload = release.coefficients
+        elif isinstance(release, DenseRelease):
+            entry["representation"] = "dense"
+            payload = release.to_matrix().values
+        else:
+            raise ReproError(
+                f"cannot archive a composition leaf of type "
+                f"{type(release).__name__}"
+            )
+        member = prefix + entry["representation"]
+        arrays[member] = payload
+        entry["member"] = member
+    return entry
+
+
+def _composed_parts(result: PublishResult) -> tuple[dict, dict]:
+    """The ``(header, arrays)`` v5 form of a nested composition."""
+    arrays: dict = {}
+    tree = _composed_entry(result, arrays, "c_")
+    return {
+        "format": _COMPOSED_FORMAT_VERSION,
+        "representation": result.release.representation,
+        "schema": schema_to_dict(result.release.schema),
+        "epsilon": result.epsilon,
+        "noise_magnitude": result.noise_magnitude,
+        "generalized_sensitivity": result.generalized_sensitivity,
+        "variance_bound": result.variance_bound,
+        "details": {k: _jsonable(v) for k, v in result.details.items()},
+        "tree": tree,
+    }, arrays
+
+
+def _composed_release_from_entry(path, archive, schema, entry: dict, lazy: bool):
+    """Rebuild the release one v5 manifest node describes (recursive).
+
+    Combinator structure is rebuilt eagerly from the manifest alone;
+    when ``lazy`` each leaf payload gets a reopening loader instead of
+    an array, so the whole tree registers without decompressing any
+    member (the same contract v3 gives shards and v4 gives nodes).
+    """
+    kind = entry.get("kind")
+    if kind == "partition":
+        attribute = entry["attribute"]
+        bounds = [int(b) for b in entry["bounds"]]
+        children = entry["children"]
+        if len(bounds) != len(children) + 1:
+            raise ReproError(
+                f"corrupt composed archive: {len(children)} children but "
+                f"{len(bounds)} cut points"
+            )
+        parts = []
+        for index, child in enumerate(children):
+            lo, hi = bounds[index], bounds[index + 1]
+            if child.get("kind") == "leaf":
+                if lazy:
+                    parts.append(
+                        ShardSlot(
+                            sa_names=tuple(child["sa"]),
+                            noise_magnitude=float(child["noise_magnitude"]),
+                            load=_shard_loader(
+                                str(path), child["member"], schema,
+                                attribute, lo, hi, child,
+                            ),
+                            representation=child["representation"],
+                        )
+                    )
+                else:
+                    parts.append(
+                        _shard_release_from_entry(
+                            shard_schema(schema, attribute, lo, hi),
+                            child,
+                            archive[child["member"]],
+                        )
+                    )
+            else:
+                sub_schema = shard_schema(schema, attribute, lo, hi)
+                release = _composed_release_from_entry(
+                    path, archive, sub_schema, child, lazy
+                )
+                parts.append(
+                    PublishResult(
+                        release=release,
+                        epsilon=float(child["epsilon"]),
+                        noise_magnitude=float(child["noise_magnitude"]),
+                        generalized_sensitivity=float(
+                            child["generalized_sensitivity"]
+                        ),
+                        variance_bound=float(child["variance_bound"]),
+                        details=child.get("details", {}),
+                    )
+                )
+        return Partition(schema, attribute, bounds, parts)
+    if kind == "stream":
+        nodes = {}
+        for node_entry in entry["nodes"]:
+            level, index = int(node_entry["level"]), int(node_entry["index"])
+            if lazy:
+                nodes[(level, index)] = StreamNode(
+                    level,
+                    index,
+                    float(node_entry["noise_magnitude"]),
+                    _stream_node_loader(
+                        str(path), node_entry["member"], schema, node_entry
+                    ),
+                    node_entry.get("representation"),
+                )
+            else:
+                nodes[(level, index)] = StreamNode.from_result(
+                    level,
+                    index,
+                    _shard_release_from_entry(
+                        schema, node_entry, archive[node_entry["member"]]
+                    ),
+                )
+        window = entry.get("window")
+        return TimeTree(
+            schema,
+            tuple(entry["sa"]),
+            int(entry["epochs"]),
+            nodes,
+            window=None if window is None else (int(window[0]), int(window[1])),
+        )
+    if kind == "leaf":
+        return _shard_release_from_entry(
+            schema, entry, archive[entry["member"]]
+        ).release
+    raise ReproError(f"unknown composition node kind {kind!r}")
+
+
+def _composed_release(path, archive, header: dict):
+    """Build the (leaf-lazy when possible) release of a v5 archive."""
+    try:
+        schema = schema_from_dict(header["schema"])
+        lazy = isinstance(path, (str, os.PathLike))
+        return _composed_release_from_entry(
+            path, archive, schema, header["tree"], lazy
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"corrupt composed archive: {exc!r}") from exc
+
+
 class _ArrayMapping:
     """Adapt a plain ``{member: array}`` dict to the ``np.load`` shape
     (``.files`` + ``__getitem__``) the eager reconstruction paths read."""
@@ -800,7 +1018,9 @@ def result_from_parts(header: dict, arrays: dict) -> PublishResult:
             )
             release = StreamRelease(schema, sa, int(manifest["epochs"]), nodes)
             return _stream_accounting(release, manifest, header)
-        if format_version == _SHARDED_FORMAT_VERSION:
+        if format_version == _COMPOSED_FORMAT_VERSION:
+            release = _composed_release(None, _ArrayMapping(arrays), header)
+        elif format_version == _SHARDED_FORMAT_VERSION:
             release = _sharded_release(None, _ArrayMapping(arrays), header)
         elif format_version == _COEFFICIENT_FORMAT_VERSION:
             release = CoefficientRelease(
@@ -830,9 +1050,10 @@ def load_result(path) -> PublishResult:
     """Reload a result written by :func:`save_result` (any format).
 
     A v3 (sharded) archive loaded from a filesystem path keeps its
-    shards lazy, and a v4 (stream) archive its tree nodes: only the
-    manifest is parsed now, and each payload is decompressed when the
-    first query routes to it.
+    shards lazy, a v4 (stream) archive its tree nodes, and a v5
+    (composition) archive every leaf of its tree: only the manifest is
+    parsed now, and each payload is decompressed when the first query
+    routes to it.
     """
     with np.load(path) as archive:
         header = _decode_header(archive)
@@ -845,6 +1066,7 @@ def load_result(path) -> PublishResult:
             elif format_version in (
                 _SHARDED_FORMAT_VERSION,
                 _STREAM_FORMAT_VERSION,
+                _COMPOSED_FORMAT_VERSION,
             ):
                 payload = None
             else:
@@ -857,6 +1079,8 @@ def load_result(path) -> PublishResult:
             return _stream_result(path, archive, header)
         if format_version == _SHARDED_FORMAT_VERSION:
             release = _sharded_release(path, archive, header)
+        elif format_version == _COMPOSED_FORMAT_VERSION:
+            release = _composed_release(path, archive, header)
     if format_version == _COEFFICIENT_FORMAT_VERSION:
         try:
             sa_names = tuple(header["sa"])

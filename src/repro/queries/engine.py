@@ -33,12 +33,17 @@ adjoint gathers over the noisy coefficients — same answers, no dense
 ``M*``.  Everything else in the engine (exact variances, intervals,
 marginal stds) already depended only on the mechanism configuration, so
 it is representation-independent by construction.  **Composed**
-backends — :class:`~repro.core.sharding.ShardedRelease` and
-:class:`~repro.streaming.release.StreamRelease` — have no single
-mechanism configuration (each shard or tree node has its own transform
-and λ), so the engine detects their ``noise_variances_boxes`` hook and
-delegates point answers *and* exact variances to the release, which
-routes per part and sums (independent noise means the variances add).
+backends — any node of the composition algebra
+(:mod:`repro.core.compose`), including
+:class:`~repro.core.sharding.ShardedRelease`,
+:class:`~repro.streaming.release.StreamRelease`, and their nestings —
+have no single mechanism configuration (each part carries its own
+transform and λ), so the engine detects their ``noise_variances_boxes``
+hook and delegates point answers *and* exact variances to the release,
+which routes per part and sums (independent noise means the variances
+add).  An ``sa_names`` override is rejected uniformly by the algebra
+base (:meth:`~repro.core.compose.ComposedRelease.reject_sa_override`)
+with a typed :class:`~repro.errors.ServingError`.
 """
 
 from __future__ import annotations
@@ -61,6 +66,36 @@ __all__ = ["QueryAnswer", "BatchQueryAnswers", "QueryEngine"]
 
 #: Back-compat alias — the quantile now lives in :mod:`repro.utils.stats`.
 _gaussian_quantile = gaussian_quantile
+
+
+def _interval_answers(
+    estimates: np.ndarray, noise_stds: np.ndarray, confidence: float
+) -> "BatchQueryAnswers":
+    """Two-sided confidence intervals around ``estimates``, vectorized.
+
+    The single interval construction every batch path uses — the engine
+    directly, and the planner after scattering deduplicated or
+    view-served rows — so planned answers stay bit-for-bit identical to
+    unplanned ones.  Gaussian approximation to the sum of independent
+    Laplace noises, widened to the exact Laplace quantile when it is
+    larger.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise QueryError(f"confidence must be in (0, 1), got {confidence}")
+    confidence = float(confidence)
+    tail = (1.0 - confidence) / 2.0
+    gaussian_multiplier = -gaussian_quantile(tail)
+    # Exact Laplace quantile for a *single* Laplace with the same
+    # variance: scale = std / sqrt(2); P(|X| > w) = exp(-w/scale).
+    laplace_multiplier = -math.log(2.0 * tail) / math.sqrt(2.0)
+    half_widths = max(gaussian_multiplier, laplace_multiplier) * noise_stds
+    return BatchQueryAnswers(
+        estimates=estimates,
+        noise_stds=noise_stds,
+        lowers=estimates - half_widths,
+        uppers=estimates + half_widths,
+        confidence=confidence,
+    )
 
 
 @dataclass(frozen=True)
@@ -141,6 +176,9 @@ class QueryEngine:
             # its hit/miss accounting) covers exactly this engine's
             # traffic.
             if sa_names is not None:
+                reject = getattr(self._release, "reject_sa_override", None)
+                if reject is not None:
+                    reject()
                 raise QueryError(
                     "composed releases (sharded, stream) carry their own "
                     "SA configuration; the sa_names override is not "
@@ -363,23 +401,10 @@ class QueryEngine:
         """
         if not 0.0 < confidence < 1.0:
             raise QueryError(f"confidence must be in (0, 1), got {confidence}")
-        confidence = float(confidence)
         lows, highs = ensure_boxes(lows, highs, self.schema.shape)
         estimates = self._release.answer_boxes(lows, highs)
         stds = np.sqrt(self.noise_variances_columnar(lows, highs))
-        tail = (1.0 - confidence) / 2.0
-        gaussian_multiplier = -gaussian_quantile(tail)
-        # Exact Laplace quantile for a *single* Laplace with the same
-        # variance: scale = std / sqrt(2); P(|X| > w) = exp(-w/scale).
-        laplace_multiplier = -math.log(2.0 * tail) / math.sqrt(2.0)
-        half_widths = max(gaussian_multiplier, laplace_multiplier) * stds
-        return BatchQueryAnswers(
-            estimates=estimates,
-            noise_stds=stds,
-            lowers=estimates - half_widths,
-            uppers=estimates + half_widths,
-            confidence=confidence,
-        )
+        return _interval_answers(estimates, stds, confidence)
 
     def answer_all(self, queries) -> np.ndarray:
         """Bulk point answers (one vectorized backend gather).

@@ -21,6 +21,17 @@ bounded LRU subclass), the same memoized adjoint profiles the
 deduplicates per axis — recompilation is skipped entirely, not merely
 made cheaper.
 
+A plan may also carry a per-shape
+:class:`~repro.planner.QueryPlanner` (the server installs one
+unless planning is disabled).  The planner is plan-scoped on purpose:
+its materialized marginal views are post-processing of one release
+snapshot, so dropping the plan — eviction, invalidation, or a stream
+refresh — drops the views with it and the next batch re-plans against
+the fresh engine.  Nothing stale can ever be served.  The planner's
+monotone counters survive that churn: :class:`PlanCache` folds a
+retiring plan's counters into a retired tally so
+:meth:`PlanCache.planner_stats` never goes backwards.
+
 Plans are **invalidated, never refreshed in place**: when a stream
 archive grows and the server swaps the release, every plan touching
 that release is dropped and the next batch recompiles against the new
@@ -60,11 +71,16 @@ class CompiledPlan:
     axes:
         Schema axis index per named attribute, aligned with the key's
         name tuple.
+    planner:
+        Optional per-shape :class:`~repro.planner.QueryPlanner`
+        batches are answered through; ``None`` sends batches straight
+        to the engine.
     """
 
     key: tuple
     engine: object
     axes: tuple = field(default_factory=tuple)
+    planner: object | None = None
 
     @property
     def schema(self):
@@ -88,7 +104,29 @@ class CompiledPlan:
             Arrays aligned with the request's rows.
         """
         lows, highs = self.bind(request)
-        return self.engine.answer_columnar(lows, highs, request.confidence)
+        return self.answer_columnar(lows, highs, request.confidence)
+
+    def answer_columnar(self, lows, highs, confidence: float):
+        """Answer bound arrays through the planner when one is attached.
+
+        The planner's answers are bit-for-bit the engine's (see
+        :mod:`repro.planner`), so which path a plan takes is
+        invisible in the responses — only in the work done.
+
+        Parameters
+        ----------
+        lows, highs:
+            ``(n, d)`` bound arrays over the plan's schema.
+        confidence:
+            Two-sided coverage level in ``(0, 1)``.
+
+        Returns
+        -------
+        repro.queries.engine.BatchQueryAnswers
+            Arrays aligned with the rows.
+        """
+        target = self.planner if self.planner is not None else self.engine
+        return target.answer_columnar(lows, highs, confidence)
 
 
 class PlanCache:
@@ -104,16 +142,26 @@ class PlanCache:
         that is evicted (eviction loses no answers — an evicted shape
         recompiles identically on its next batch, and the underlying
         engine profile caches are owned by the engines, not the plan).
+    planner_factory:
+        Optional callable ``engine -> QueryPlanner`` run on every plan
+        compile; the planner is attached to the plan and dropped with
+        it (so its materialized views never outlive the plan's engine).
+        ``None`` compiles plain engine-only plans.
 
     Thread-safety: lookups and inserts are lock-guarded so direct
     callers may share the cache with the batcher's drain thread.
     """
 
-    def __init__(self, resolve_engine, *, max_plans: int = 256):
+    #: Monotone planner counters folded when a plan retires.
+    _PLANNER_COUNTERS = ("rows_planned", "rows_deduped", "view_rows", "views_built")
+
+    def __init__(self, resolve_engine, *, max_plans: int = 256, planner_factory=None):
         self._resolve = resolve_engine
         self._max_plans = ensure_positive_int(max_plans, "max_plans")
+        self._planner_factory = planner_factory
         self._plans: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
+        self._retired = dict.fromkeys(self._PLANNER_COUNTERS, 0)
         #: Batches that found their shape compiled.
         self.hits = 0
         #: Batches that had to compile their shape.
@@ -161,15 +209,50 @@ class PlanCache:
         release_name, names, time_range = key
         engine = self._resolve(release_name, time_range)
         axes = engine.schema.axes_of(names)
-        plan = CompiledPlan(key=key, engine=engine, axes=axes)
+        planner = (
+            self._planner_factory(engine) if self._planner_factory is not None else None
+        )
+        plan = CompiledPlan(key=key, engine=engine, axes=axes, planner=planner)
         with self._lock:
             self.misses += 1
             self._plans[key] = plan
             self._plans.move_to_end(key)
             while len(self._plans) > self._max_plans:
-                self._plans.popitem(last=False)
+                _, evicted = self._plans.popitem(last=False)
+                self._fold_retired(evicted)
                 self.evictions += 1
         return plan
+
+    def _fold_retired(self, plan: CompiledPlan) -> None:
+        """Fold a retiring plan's planner counters (call under the lock)."""
+        if plan.planner is None:
+            return
+        for name in self._PLANNER_COUNTERS:
+            self._retired[name] += int(getattr(plan.planner, name, 0))
+
+    def planner_stats(self) -> dict:
+        """Aggregate planner counters across live and retired plans.
+
+        Returns
+        -------
+        dict
+            ``rows_planned`` / ``rows_deduped`` / ``view_rows`` /
+            ``views_built`` summed over every planner this cache ever
+            compiled (monotone — retiring a plan folds its tally in)
+            plus ``views`` (currently materialized cubes, live plans
+            only).
+        """
+        with self._lock:
+            totals = dict(self._retired)
+            views = 0
+            for plan in self._plans.values():
+                if plan.planner is None:
+                    continue
+                for name in self._PLANNER_COUNTERS:
+                    totals[name] += int(getattr(plan.planner, name, 0))
+                views += plan.planner.num_views
+            totals["views"] = views
+        return totals
 
     def invalidate(self, release_name: str) -> int:
         """Drop every plan compiled against ``release_name``.
@@ -186,12 +269,14 @@ class PlanCache:
         with self._lock:
             stale = [key for key in self._plans if key[0] == release_name]
             for key in stale:
-                del self._plans[key]
+                self._fold_retired(self._plans.pop(key))
         return len(stale)
 
     def clear(self) -> None:
         """Drop every plan (counters are preserved)."""
         with self._lock:
+            for plan in self._plans.values():
+                self._fold_retired(plan)
             self._plans.clear()
 
     def __repr__(self) -> str:

@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.release import convert_result
 from repro.errors import ServingError, StreamingError
 from repro.queries.engine import BatchQueryAnswers, QueryEngine
+from repro.planner import QueryPlanner
 from repro.serving.batching import MicroBatcher
 from repro.serving.cache import LRUProfileCache
 from repro.serving.plans import PlanCache
@@ -93,6 +94,14 @@ class ServerStats:
     #: Rows answered through the columnar path (each scalar request
     #: counts 1 toward ``requests``; a columnar batch counts its rows).
     columnar_rows: int
+    #: Rows the planner answered by scatter from an identical row
+    #: (0 when planning is disabled).
+    planner_deduped_rows: int
+    #: Rows the planner served from materialized marginal views.
+    planner_view_rows: int
+    #: Marginal cubes the planner materialized (monotone, survives
+    #: plan eviction/invalidation).
+    planner_views_built: int
     #: Median request latency (submit → answered) over the window.
     p50_latency_seconds: float
     #: 99th-percentile request latency over the window.
@@ -140,6 +149,13 @@ class ReleaseServer:
     max_plans:
         LRU bound of the columnar :class:`~repro.serving.plans.PlanCache`
         (compiled ``(release, attribute set, time_range)`` shapes).
+    planner:
+        When True (the default), every compiled plan carries a
+        :class:`~repro.planner.QueryPlanner` and columnar
+        batches are answered through it — deduplicated, cover-pruned,
+        and (for hot marginal shapes) served from materialized views,
+        all bit-for-bit identical to the unplanned path.  ``False``
+        sends batches straight to the engine.
     """
 
     def __init__(
@@ -155,6 +171,7 @@ class ReleaseServer:
         watch_streams: bool = True,
         window_engine_cache: int = 64,
         max_plans: int = 256,
+        planner: bool = True,
     ):
         self._registry = registry if registry is not None else ReleaseRegistry()
         self._representation = representation
@@ -170,7 +187,11 @@ class ReleaseServer:
         self._errors = 0
         self._columnar_rows = 0
         self._closed = False
-        self._plan_cache = PlanCache(self.engine, max_plans=max_plans)
+        self._plan_cache = PlanCache(
+            self.engine,
+            max_plans=max_plans,
+            planner_factory=QueryPlanner if planner else None,
+        )
         self._batcher = MicroBatcher(
             self._handle_batch,
             max_batch=max_batch,
@@ -488,6 +509,7 @@ class ReleaseServer:
             getattr(engine.profile_cache, "evictions", 0) for engine in engines
         )
         p50, p99 = self._latency.percentiles()
+        planner_stats = self._plan_cache.planner_stats()
         return ServerStats(
             releases=self.names,
             engines_built=len(engines),
@@ -505,6 +527,9 @@ class ReleaseServer:
             plan_cache_hit_rate=self._plan_cache.hit_rate,
             plan_cache_evictions=self._plan_cache.evictions,
             columnar_rows=self._columnar_rows,
+            planner_deduped_rows=planner_stats["rows_deduped"],
+            planner_view_rows=planner_stats["view_rows"],
+            planner_views_built=planner_stats["views_built"],
             p50_latency_seconds=p50,
             p99_latency_seconds=p99,
             linger_seconds=self._batcher.linger_seconds,
@@ -664,7 +689,7 @@ class ReleaseServer:
             lows = np.concatenate([pair[0] for pair in bound])
             highs = np.concatenate([pair[1] for pair in bound])
         try:
-            answers = plan.engine.answer_columnar(lows, highs, confidence)
+            answers = plan.answer_columnar(lows, highs, confidence)
         except Exception as exc:  # noqa: BLE001
             for index in valid:
                 results[index] = exc

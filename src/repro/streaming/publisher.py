@@ -47,8 +47,8 @@ from repro.errors import StreamingError
 from repro.streaming.release import (
     StreamNode,
     StreamRelease,
+    _wrap_stream_result,
     merge_results,
-    stream_result,
 )
 from repro.streaming.tree import merge_path
 from repro.utils.validation import ensure_epsilon, ensure_positive_int
@@ -448,7 +448,7 @@ class StreamingPublisher:
             for entry in self._entries
             if entry["level"] == 0
         ]
-        return stream_result(
+        return _wrap_stream_result(
             self.release(),
             leaves,
             epsilon=self._epsilon,

@@ -21,27 +21,29 @@ tensors (post-processing, no fresh noise), so its per-coefficient noise
 variance is ``2**k`` times one epoch's and the usual
 ``2 lambda_eff**2 * prod profile`` formula stays exact.
 
-Nodes load lazily (archive-backed streams decompress a node member on
-its first routed query), and :meth:`StreamRelease.window` produces
-constant-size views sharing the node table — the object a server builds
-per ``time_range`` request group.
+Since the composition-algebra refactor, all of that lives in
+:class:`~repro.core.compose.TimeTree` — the time combinator of
+:mod:`repro.core.compose` — and :class:`StreamRelease` is a thin
+constructor over it.  Nodes load lazily (archive-backed streams
+decompress a node member on its first routed query), and
+:meth:`~repro.core.compose.TimeTree.window` produces constant-size
+views sharing the node table — the object a server builds per
+``time_range`` request group.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 
 import numpy as np
 
-from repro.analysis.exact import AxisProfileCache
+from repro.core.compose import TimeTree
 from repro.core.framework import PublishResult
 from repro.core.release import CoefficientRelease, DenseRelease, Release
-from repro.core.sharding import ShardProfileCaches
 from repro.data.frequency import FrequencyMatrix
-from repro.data.schema import Schema
 from repro.errors import StreamingError
-from repro.streaming.tree import dyadic_cover, node_span
-from repro.transforms.multidim import HNTransform
+from repro.streaming.tree import node_span
 
 __all__ = ["StreamNode", "StreamRelease", "merge_results", "stream_result"]
 
@@ -54,6 +56,8 @@ class StreamNode:
     variances, so an archive-backed stream registers and profiles
     queries without decompressing any node; ``load`` runs once,
     thread-safely, on the first query whose cover touches the node.
+    Satisfies the part protocol of
+    :class:`~repro.core.compose.ComposedRelease`.
 
     Parameters
     ----------
@@ -192,17 +196,17 @@ def merge_results(left: PublishResult, right: PublishResult) -> PublishResult:
     )
 
 
-class StreamRelease(Release):
+class StreamRelease(TimeTree):
     """A window over a stream's dyadic node tree, behind one backend.
 
-    Implements the full :class:`~repro.core.release.Release` protocol
-    plus :meth:`noise_variances_boxes` — the composed-release hook the
-    query engine delegates exact uncertainty to, exactly as it does for
-    :class:`~repro.core.sharding.ShardedRelease`.  A box query is
+    A thin constructor over the algebra's
+    :class:`~repro.core.compose.TimeTree` combinator, kept for its
+    established name and accessors (``epochs``, ``cover``, ``nodes``,
+    ``window``).  All routing, answer accumulation, and the
+    single-profile exact variance pass are inherited: a box query is
     answered by every node in the window's canonical dyadic cover (the
     same box each, summed); independent per-epoch noise means the exact
-    variances sum too, and because all nodes share one transform the
-    variance pass computes a single profile product per query.
+    variances sum too.
 
     Parameters
     ----------
@@ -216,287 +220,13 @@ class StreamRelease(Release):
         table must contain every dyadic node inside ``[0, T)``.
     nodes:
         Mapping ``(level, index) -> StreamNode``, shared (not copied)
-        between a stream and its :meth:`window` views.
+        between a stream and its ``window`` views.
     window:
         Optional ``(lo, hi)`` epoch window; ``None`` means ``[0, T)``.
     """
 
-    representation = "stream"
 
-    def __init__(self, schema: Schema, sa_names, epochs: int, nodes, *, window=None):
-        self._schema = schema
-        self._transform = HNTransform(schema, tuple(sa_names))
-        self._sa_names = tuple(
-            name for name in schema.names if name in self._transform.sa_names
-        )
-        self._epochs = int(epochs)
-        if self._epochs < 0:
-            raise StreamingError(f"invalid epoch count {self._epochs}")
-        self._nodes = nodes
-        if window is None:
-            window = (0, self._epochs)
-        lo, hi = int(window[0]), int(window[1])
-        if not 0 <= lo <= hi <= self._epochs:
-            raise StreamingError(
-                f"window [{lo}, {hi}) outside the closed prefix "
-                f"[0, {self._epochs})"
-            )
-        self._window = (lo, hi)
-        self._cover = dyadic_cover(lo, hi)
-        missing = [key for key in self._cover if key not in self._nodes]
-        if missing:
-            raise StreamingError(f"stream is missing tree nodes {missing}")
-        self._caches = None
-        self._caches_lock = threading.Lock()
-
-    # ------------------------------------------------------------------
-    @property
-    def schema(self) -> Schema:
-        return self._schema
-
-    @property
-    def sa_names(self) -> tuple[str, ...]:
-        """The SA set shared by every node, in schema order."""
-        return self._sa_names
-
-    @property
-    def transform(self) -> HNTransform:
-        """The HN transform every node's coefficients live in."""
-        return self._transform
-
-    @property
-    def epochs(self) -> int:
-        """How many epochs of the stream are closed."""
-        return self._epochs
-
-    @property
-    def window_bounds(self) -> tuple[int, int]:
-        """The half-open epoch window this release answers over."""
-        return self._window
-
-    @property
-    def cover(self) -> tuple[tuple[int, int], ...]:
-        """The window's canonical dyadic cover, as ``(level, index)`` pairs."""
-        return tuple(self._cover)
-
-    @property
-    def nodes_touched(self) -> int:
-        """How many node releases a query on this window consults."""
-        return len(self._cover)
-
-    @property
-    def num_nodes(self) -> int:
-        """Total tree nodes in the stream's node table."""
-        return len(self._nodes)
-
-    @property
-    def nodes(self) -> dict:
-        """The ``(level, index) -> StreamNode`` table (treat as read-only)."""
-        return self._nodes
-
-    @property
-    def nodes_loaded(self) -> int:
-        """How many node payloads have been materialized so far."""
-        return sum(node.loaded for node in self._nodes.values())
-
-    def node_result(self, level: int, index: int) -> PublishResult:
-        """Tree node ``(level, index)``'s result (loads it if lazy).
-
-        Parameters
-        ----------
-        level, index:
-            The node's tree coordinates.
-        """
-        try:
-            node = self._nodes[(int(level), int(index))]
-        except KeyError:
-            raise StreamingError(f"no tree node ({level}, {index})") from None
-        return node.result()
-
-    def window(self, lo: int, hi: int | None = None) -> "StreamRelease":
-        """A view answering only over epochs ``[lo, hi)``.
-
-        The view shares the node table (and therefore every lazily
-        loaded payload) with this release; building it costs the
-        ``O(log T)`` cover computation only.
-
-        Parameters
-        ----------
-        lo:
-            First epoch of the window.
-        hi:
-            One past the last epoch; ``None`` means the newest closed
-            epoch.
-
-        Returns
-        -------
-        StreamRelease
-            The windowed view (``lo == hi`` gives an empty window that
-            answers exact zeros with zero variance).
-        """
-        if hi is None:
-            hi = self._epochs
-        return StreamRelease(
-            self._schema,
-            self._sa_names,
-            self._epochs,
-            self._nodes,
-            window=(lo, hi),
-        )
-
-    # ------------------------------------------------------------------
-    def answer_boxes(self, lows, highs) -> np.ndarray:
-        """Batch box answers: every cover node answers the box, summed.
-
-        Only the ``<= 2 * ceil(log2 T)`` nodes of the window's canonical
-        cover are consulted (lazy nodes load on their first touch);
-        an empty window returns exact zeros.
-
-        Parameters
-        ----------
-        lows, highs:
-            ``(n, d)`` arrays of half-open box bounds, one row per query.
-
-        Returns
-        -------
-        numpy.ndarray
-            ``(n,)`` private counts aligned with the rows.
-        """
-        lows, highs = self._check_boxes(lows, highs)
-        answers = np.zeros(lows.shape[0], dtype=np.float64)
-        for key in self._cover:
-            answers += self._nodes[key].result().release.answer_boxes(lows, highs)
-        return answers
-
-    def build_profile_caches(self, factory=None) -> ShardProfileCaches:
-        """A fresh profile-cache set for one consumer (e.g. an engine).
-
-        All nodes share one transform, so the set holds a single
-        per-axis cache; it is wrapped in the same
-        :class:`~repro.core.sharding.ShardProfileCaches` aggregate the
-        sharded backend uses, so serving-layer stats read hit/miss
-        counters identically for both.
-
-        Parameters
-        ----------
-        factory:
-            Optional callable mapping the per-axis transform sequence to
-            its cache; the serving layer passes a bounded LRU subclass.
-            The default is the unbounded cache.
-        """
-        build = factory if factory is not None else AxisProfileCache
-        return ShardProfileCaches([build(self._transform.transforms)])
-
-    def _default_caches(self) -> ShardProfileCaches:
-        if self._caches is None:
-            with self._caches_lock:
-                if self._caches is None:
-                    self._caches = self.build_profile_caches()
-        return self._caches
-
-    def noise_variances_boxes(self, lows, highs, *, caches=None) -> np.ndarray:
-        """Exact noise variance of each box's answer over the window.
-
-        One profile product per query (all nodes share the transform)
-        times ``2 * sum over cover nodes of lambda_eff**2`` — needing no
-        node payload, because the profiles depend only on the shared
-        transform configuration and each node's effective λ is recorded
-        in the manifest.
-
-        Parameters
-        ----------
-        lows, highs:
-            ``(n, d)`` arrays of half-open box bounds, one row per query.
-        caches:
-            A :class:`~repro.core.sharding.ShardProfileCaches` to
-            memoize profiles in (an engine passes its own); defaults to
-            the release's internal unbounded set.
-
-        Returns
-        -------
-        numpy.ndarray
-            ``(n,)`` exact variances aligned with the rows.
-        """
-        lows, highs = self._check_boxes(lows, highs)
-        if caches is None:
-            caches = self._default_caches()
-        factor = 2.0 * sum(
-            self._nodes[key].noise_magnitude ** 2 for key in self._cover
-        )
-        if factor == 0.0:
-            return np.zeros(lows.shape[0], dtype=np.float64)
-        products = caches.caches[0].box_profile_products(lows, highs)
-        return factor * products
-
-    def to_matrix(self) -> FrequencyMatrix:
-        """Materialize the window's ``M*`` by summing cover-node matrices.
-
-        Loads (and densifies) every cover node — the thing the tree
-        exists to avoid on the serving path — so the result is not
-        cached.
-        """
-        values = np.zeros(self._schema.shape, dtype=np.float64)
-        for key in self._cover:
-            values += self._nodes[key].result().release.to_matrix().values
-        return FrequencyMatrix(self._schema, values)
-
-    def nbytes(self) -> int:
-        """Bytes held by the *loaded* nodes' serving state."""
-        return sum(
-            node.result().release.nbytes()
-            for node in self._nodes.values()
-            if node.loaded
-        )
-
-    def convert(self, representation: str) -> "StreamRelease":
-        """Re-represent every node (``dense``/``coefficients``).
-
-        When every node is already known (without loading) to carry
-        ``representation``, returns ``self`` — so a server's
-        representation override on a stream archive stored that way
-        keeps its node-laziness.  Otherwise all nodes load and convert;
-        the tree structure and window are preserved either way.
-
-        Parameters
-        ----------
-        representation:
-            The target per-node representation.
-
-        Returns
-        -------
-        StreamRelease
-            ``self`` when already uniform, else a new release whose
-            nodes all carry ``representation``.
-        """
-        from repro.core.release import convert_result
-
-        if all(
-            node.representation == representation for node in self._nodes.values()
-        ):
-            return self
-        converted = {
-            key: StreamNode.from_result(
-                key[0], key[1], convert_result(node.result(), representation)
-            )
-            for key, node in self._nodes.items()
-        }
-        return StreamRelease(
-            self._schema,
-            self._sa_names,
-            self._epochs,
-            converted,
-            window=self._window,
-        )
-
-    def __repr__(self) -> str:
-        lo, hi = self._window
-        return (
-            f"StreamRelease(shape={self._schema.shape}, epochs={self._epochs}, "
-            f"window=[{lo}, {hi}), cover={len(self._cover)} nodes)"
-        )
-
-
-def stream_result(
+def _wrap_stream_result(
     release: StreamRelease, leaf_results=None, *, epsilon: float = 0.0, **details
 ) -> PublishResult:
     """Wrap a :class:`StreamRelease` in a :class:`PublishResult`.
@@ -548,4 +278,26 @@ def stream_result(
         ),
         variance_bound=sum(leaf.variance_bound for leaf in leaves),
         details=payload,
+    )
+
+
+def stream_result(
+    release: StreamRelease, leaf_results=None, *, epsilon: float = 0.0, **details
+) -> PublishResult:
+    """Deprecated alias wrapping a stream release in a result.
+
+    Kept for released callers; ``release``, ``leaf_results``,
+    ``epsilon``, and extra details forward unchanged.  Prefer
+    ``repro.publish(table, epsilon, stream=timestamps)`` (which
+    publishes and wraps in one step) or
+    :meth:`~repro.streaming.publisher.StreamingPublisher.result`.
+    """
+    warnings.warn(
+        "stream_result is deprecated; use repro.publish(..., stream=...) or "
+        "StreamingPublisher.result() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _wrap_stream_result(
+        release, leaf_results, epsilon=epsilon, **details
     )

@@ -17,7 +17,7 @@ from repro.core.sharding import (
     shard_seeds,
 )
 from repro.data.census import BRAZIL, generate_census_table
-from repro.errors import QueryError, SchemaError
+from repro.errors import SchemaError, ServingError
 from repro.queries.engine import QueryEngine
 from repro.queries.predicate import Predicate
 from repro.queries.query import RangeCountQuery
@@ -250,7 +250,7 @@ class TestShardedRelease:
         )
 
     def test_sa_override_rejected(self, sharded):
-        with pytest.raises(QueryError, match="their own SA configuration"):
+        with pytest.raises(ServingError, match="own SA configuration"):
             QueryEngine(sharded, sa_names=("Age",))
 
     def test_wrong_shard_count_rejected(self, table, per_shard):

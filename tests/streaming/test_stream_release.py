@@ -9,7 +9,7 @@ import pytest
 from repro.analysis.exact import query_boxes
 from repro.core.privelet_plus import PriveletPlusMechanism
 from repro.data.census import BRAZIL, census_schema, generate_census_table
-from repro.errors import QueryError, StreamingError
+from repro.errors import ServingError, StreamingError
 from repro.queries.engine import QueryEngine
 from repro.queries.workload import generate_workload
 from repro.streaming import StreamingPublisher, cover_bound
@@ -116,7 +116,7 @@ class TestEngineIntegration:
         assert np.all(batch.noise_stds > 0.0)
 
     def test_sa_override_rejected(self, stream):
-        with pytest.raises(QueryError, match="their own SA configuration"):
+        with pytest.raises(ServingError, match="own SA configuration"):
             QueryEngine(stream.result(), sa_names=("Age",))
 
     def test_marginal_with_std(self, stream):

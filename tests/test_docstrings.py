@@ -12,6 +12,7 @@ Two levels of enforcement:
 import dataclasses
 import importlib
 import inspect
+import pathlib
 import pkgutil
 import re
 
@@ -21,9 +22,11 @@ import repro
 
 #: Modules whose public docstrings must mention every parameter.
 AUDITED_MODULES = [
+    "repro.core.compose",
     "repro.core.release",
     "repro.core.sharding",
     "repro.queries.engine",
+    "repro.planner",
     "repro.analysis.exact",
     "repro.serving.batching",
     "repro.serving.cache",
@@ -91,6 +94,29 @@ def _documented_params(function, owner_doc: str) -> list[str]:
         if not re.search(rf"\b{re.escape(name)}\b", doc):
             missing.append(name)
     return missing
+
+
+def test_every_public_name_has_an_executable_api_entry():
+    """Each ``repro.__all__`` name appears in a ```python block of API.md.
+
+    ``tests/test_docs.py`` already executes every fenced block and
+    checks the page *mentions* each name; this gate is stricter — a
+    public entry point must show up inside executable code, so its
+    documented usage cannot rot without CI noticing.
+    """
+    api_doc = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
+    blocks = "\n".join(
+        match.group(1)
+        for match in re.finditer(r"```python\n(.*?)```", api_doc.read_text(), re.DOTALL)
+    )
+    missing = [
+        name
+        for name in repro.__all__
+        if not re.search(rf"\b{re.escape(name)}\b", blocks)
+    ]
+    assert missing == [], (
+        f"docs/API.md has no executable entry for: {missing}"
+    )
 
 
 @pytest.mark.parametrize("module_name", AUDITED_MODULES)
